@@ -1,0 +1,53 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one paper figure/table: it runs the experiment
+harness once (``benchmark.pedantic`` with a single round — simulations are
+deterministic, so repetition only measures the same work), prints the
+figure's rows, and asserts the paper's qualitative shape.
+
+By default the registry-wide figures run on a representative subset so the
+whole suite finishes in minutes; set ``REPRO_FULL=1`` to sweep all 112
+applications / 22 queries exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.workloads import app_names
+
+
+def full_run() -> bool:
+    return os.environ.get("REPRO_FULL") == "1"
+
+
+#: Representative cross-suite subset for the 112-app figures (fast mode).
+SUBSET_APPS = [
+    # imbalance-sensitive (TPC-H)
+    "tpcU-q1", "tpcU-q8", "tpcU-q14", "tpcC-q4", "tpcC-q9",
+    # register-file sensitive
+    "cg-lou", "cg-bfs", "cg-pgrnk", "pb-mriq", "pb-sgemm",
+    "rod-srad", "rod-lavaMD", "ply-2Dcon",
+    # balanced / insensitive fillers
+    "pb-stencil", "rod-nw", "rod-kmeans", "ply-atax", "ply-gemm",
+    "db-conv-tr", "db-rnn-inf", "cutlass-4096", "cutlass-1024",
+]
+
+
+def registry_apps() -> list:
+    return app_names() if full_run() else list(SUBSET_APPS)
+
+
+def tpch_queries(compressed: bool) -> list:
+    suite = "tpch-compressed" if compressed else "tpch-uncompressed"
+    names = app_names(suite)
+    if full_run():
+        return names
+    prefix = "tpcC-q" if compressed else "tpcU-q"
+    picks = (1, 4, 8, 9, 14, 17, 21)
+    return [f"{prefix}{q}" for q in picks]
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

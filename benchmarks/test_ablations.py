@@ -1,0 +1,27 @@
+"""Bench: ablation studies for the modelling choices DESIGN.md calls out."""
+
+from repro.experiments import ablation_bank_mapping, ablation_baseline_scheduler
+
+from conftest import run_once
+
+
+def test_ablation_bank_mapping(benchmark):
+    res = run_once(benchmark, ablation_bank_mapping.run)
+    print()
+    print(ablation_bank_mapping.format_result(res))
+    # RBA's gain must survive under every mapping policy.
+    for mapping in ablation_bank_mapping.MAPPINGS:
+        assert res.rba_speedup(mapping) > 1.0
+
+
+def test_ablation_baseline_scheduler(benchmark):
+    res = run_once(benchmark, ablation_baseline_scheduler.run)
+    print()
+    print(ablation_baseline_scheduler.format_result(res))
+    # Bank-aware selection beats the age-order baselines on average...
+    assert res.rba_gain_over("gto") > 1.05
+    assert res.rba_gain_over("lrr") > 1.0
+    # ...and is the robust policy: generic interleaving (LRR/two-level)
+    # falls below GTO somewhere, RBA does not (within noise).
+    assert res.min_speedup("lrr") < 0.99
+    assert res.min_speedup("rba") > 0.985

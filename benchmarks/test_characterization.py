@@ -1,0 +1,37 @@
+"""Bench: workload characterization + analytic bounds for key apps.
+
+Not a paper figure — regenerates the triage the paper's Secs. III/VI
+narrate (which app is imbalance-bound / read-operand-bound / memory-bound)
+and the roofline context for the scheduling results.
+"""
+
+from repro.metrics import ipc_bounds
+from repro.workloads import characterization_table, characterize, get_kernel
+from repro.config import volta_v100
+
+from conftest import run_once
+
+APPS = (
+    "tpcU-q8", "tpcC-q9",          # issue imbalance
+    "cg-lou", "pb-mriq", "rod-srad",  # read-operand limited
+    "pb-stencil", "ply-atax",      # memory bound
+    "cutlass-4096", "db-conv-tr",  # tensor / balanced
+)
+
+
+def _characterize_all():
+    return {app: get_kernel(app) for app in APPS}
+
+
+def test_characterization_triage(benchmark):
+    kernels = run_once(benchmark, _characterize_all)
+    print()
+    print(characterization_table(kernels))
+    cfg = volta_v100()
+    print()
+    for app, k in kernels.items():
+        b = ipc_bounds(k, cfg)
+        print(f"{app:14s} IPC ceiling {b.ipc:5.2f} (binding: {b.binding})")
+    assert characterize(kernels["tpcU-q8"]).dominant_effect() == "issue-imbalance"
+    assert characterize(kernels["cg-lou"]).dominant_effect() == "read-operand-limited"
+    assert characterize(kernels["pb-stencil"]).dominant_effect() == "memory-bound"

@@ -1,0 +1,17 @@
+"""Bench: regenerate Sec. V — collector-unit count validation."""
+
+from repro.experiments import cu_validation
+
+from conftest import full_run, run_once
+
+
+def test_cu_validation(benchmark):
+    insts = 512 if full_run() else 192
+    res = run_once(benchmark, cu_validation.run, insts=insts)
+    print()
+    print(cu_validation.format_result(res))
+    # Paper: 2 CUs/sub-core yields the lowest MAE (16.2%; worst 43%).
+    assert res.best_cu_count() == 2
+    maes = res.mae()
+    assert maes[2] < 25.0
+    assert maes[1] > maes[2] + 10.0

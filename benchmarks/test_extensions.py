@@ -1,0 +1,36 @@
+"""Bench: extension studies beyond the paper's evaluation."""
+
+from repro.experiments import subcore_granularity, work_stealing_study
+
+from conftest import run_once
+
+
+def test_subcore_granularity(benchmark):
+    res = run_once(benchmark, subcore_granularity.run)
+    print()
+    print(subcore_granularity.format_result(res))
+    # The unbalanced-FMA penalty must grow monotonically with granularity.
+    unb = res.slowdown_vs_monolithic("fma-unbalanced")
+    assert unb == sorted(unb)
+    assert unb[-1] > 2.5
+
+
+def test_work_stealing_study(benchmark):
+    res = run_once(benchmark, work_stealing_study.run)
+    print()
+    print(work_stealing_study.format_result(res))
+    # Free migration approaches SRR; cost erodes it; SRR needs no migration.
+    free = res.mean_speedup("steal_lat0")
+    costly = res.mean_speedup(f"steal_lat{max(work_stealing_study.MIGRATION_LATENCIES)}")
+    assert free > costly
+    assert free > res.mean_speedup("srr") * 0.8
+
+
+def test_effect4_concurrent_kernels(benchmark):
+    from repro.experiments import effect4_concurrent
+
+    res = run_once(benchmark, effect4_concurrent.run)
+    print()
+    print(effect4_concurrent.format_result(res))
+    assert res.efficiency("partitioned") > 1.0
+    assert abs(res.fragmentation_loss()) < 0.15

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 1 — fully-connected SM speedup across the registry."""
+
+from repro.experiments import fig01_partitioning as fig01
+
+from conftest import registry_apps, run_once
+
+
+def test_fig01_partitioning_loss(benchmark):
+    res = run_once(benchmark, fig01.run, apps=registry_apps())
+    print()
+    print(fig01.format_result(res))
+    # Paper: +13.2% average, with a large insensitive population.
+    assert 1.05 < res.average < 1.30
+    assert res.max_speedup > 1.15
+    assert 0.2 < res.sensitive_fraction() < 0.9

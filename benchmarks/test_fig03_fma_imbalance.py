@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 3 — in-silicon FMA imbalance microbenchmark."""
+
+from repro.experiments import fig03_fma_imbalance as fig03
+
+from conftest import full_run, run_once
+
+
+def test_fig03_fma_imbalance(benchmark):
+    fmas = 4096 if full_run() else 512
+    res = run_once(benchmark, fig03.run, fmas=fmas)
+    print()
+    print(fig03.format_result(res))
+    # Paper: A100 3.9x on unbalanced; Kepler flat; balanced == baseline.
+    assert 3.0 < res.unbalanced_slowdown("ampere") < 4.5
+    assert 3.0 < res.unbalanced_slowdown("volta") < 4.5
+    assert res.unbalanced_slowdown("kepler") < 1.15
+    assert res.normalized()["ampere"]["balanced"] < 1.1

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 8 — assignment designs vs imbalance scale."""
+
+from repro.experiments import fig08_imbalance_scaling as fig08
+
+from conftest import full_run, run_once
+
+
+def test_fig08_imbalance_scaling(benchmark):
+    base_fmas = 128 if full_run() else 48
+    res = run_once(benchmark, fig08.run, base_fmas=base_fmas)
+    print()
+    print(fig08.format_result(res))
+    sp = res.speedup_over_rr()
+    # SRR >= Shuffle >= RR at every point, gap widening with imbalance.
+    for i in range(len(res.imbalances)):
+        assert sp["srr"][i] >= sp["shuffle"][i] - 0.05
+    assert sp["srr"][-1] > 2.0
+    assert sp["shuffle"][-1] > 1.3
+    assert sp["srr"][-1] - sp["shuffle"][-1] > 0.5

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 9 — Shuffle+RBA vs fully-connected, all apps."""
+
+from repro.experiments import fig09_all_apps as fig09
+
+from conftest import registry_apps, run_once
+
+
+def test_fig09_all_apps(benchmark):
+    res = run_once(benchmark, fig09.run, apps=registry_apps())
+    print()
+    print(fig09.format_result(res))
+    avg = res.averages()
+    # Paper: Shuffle+RBA +10.6%, within a few points of FC's +13.2%.
+    assert avg["shuffle_rba"] > 1.05
+    assert abs(res.combined_vs_fc_gap()) < 8.0
+    assert len(res.apps_where_design_beats_fc()) >= 1

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 13 — area/power of CU scaling vs RBA."""
+
+from repro.experiments import fig13_area_power as fig13
+
+from conftest import run_once
+
+
+def test_fig13_area_power(benchmark):
+    res = run_once(benchmark, fig13.run)
+    print()
+    print(fig13.format_result(res))
+    # Paper: 4 CUs +27% area / +60% power; RBA ~1% both.
+    assert 20 < res.overhead("4cu", "area") < 35
+    assert 45 < res.overhead("4cu", "power") < 75
+    assert res.overhead("2cu+rba", "area") < 1.0
+    assert res.overhead("2cu+rba", "power") < 1.0

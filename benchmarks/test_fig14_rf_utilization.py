@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 14 — RF reads/cycle utilization traces."""
+
+from repro.experiments import fig14_rf_utilization as fig14
+
+from conftest import run_once
+
+
+def test_fig14_rf_utilization(benchmark):
+    res = run_once(benchmark, fig14.run)
+    print()
+    print(fig14.format_result(res))
+    # Paper: RBA raises rod-srad's average reads/cycle above both the
+    # baseline and the fully-connected SM (22.2 / 27.1 / 23.4).
+    srad_base = res.average_reads("rod-srad", "baseline")
+    srad_rba = res.average_reads("rod-srad", "rba")
+    assert srad_rba > srad_base
+    assert srad_rba > res.average_reads("rod-srad", "fully_connected") * 0.95
+    # RBA shrinks the low-utilization tail on pb-mriq.
+    assert res.low_utilization_cycles("pb-mriq", "rba") < res.low_utilization_cycles(
+        "pb-mriq", "baseline"
+    )

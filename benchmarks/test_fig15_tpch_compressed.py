@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 15 — compressed TPC-H per-query speedups."""
+
+from repro.experiments import fig15_tpch_compressed as fig15
+
+from conftest import run_once, tpch_queries
+
+
+def test_fig15_tpch_compressed(benchmark):
+    res = run_once(benchmark, fig15.run, queries=tpch_queries(compressed=True))
+    print()
+    print(fig15.format_result(res))
+    avg = res.averages()
+    # Paper: SRR +33.1%, Shuffle +27.4%; SRR best in all queries.
+    assert avg["srr"] > 1.15
+    assert avg["srr"] >= avg["shuffle"] - 0.02
+    assert res.srr_wins() >= len(res.rows) - 2
+    assert avg["rba"] < 1.10  # TPC-H is not read-operand limited

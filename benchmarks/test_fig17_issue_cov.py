@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 17 — CoV of per-sub-core instruction issue."""
+
+from repro.experiments import fig17_issue_cov as fig17
+
+from conftest import run_once, tpch_queries
+
+
+def test_fig17_issue_cov(benchmark):
+    res = run_once(benchmark, fig17.run, queries=tpch_queries(compressed=False))
+    print()
+    print(fig17.format_result(res))
+    avg = res.averages()
+    # Paper: baseline 0.80 average, SRR 0.11; q8 worst at 1.01.
+    assert 0.55 < avg["baseline"] < 1.1
+    assert avg["srr"] < 0.2
+    assert avg["shuffle"] < avg["baseline"]
+    worst_app, worst = res.worst_baseline()
+    assert worst_app == "tpcU-q8"
+    assert worst > 0.9

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 18 — partitioned-vs-fully-connected SM scaling."""
+
+from repro.experiments import fig18_sm_scaling as fig18
+
+from conftest import full_run, run_once
+
+
+def test_fig18_sm_scaling(benchmark):
+    kwargs = {}
+    if not full_run():
+        kwargs = dict(apps=("tpcU-q8", "pb-sgemm"), num_ctas=24)
+    res = run_once(benchmark, fig18.run, **kwargs)
+    print()
+    print(fig18.format_result(res))
+    base_ratio = res.overhead_ratio("baseline")
+    ours_ratio = res.overhead_ratio("shuffle_rba")
+    # Paper: 100/80 = 1.25x partitioned SMs needed at baseline; 84/80 =
+    # 1.05x with the techniques.  Our techniques must close the gap.
+    assert base_ratio > 1.0
+    assert ours_ratio < base_ratio

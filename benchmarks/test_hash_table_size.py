@@ -1,0 +1,13 @@
+"""Bench: regenerate Sec. IV-B3 — 4-entry vs 16-entry Shuffle hash table."""
+
+from repro.experiments import hash_table_size
+
+from conftest import run_once
+
+
+def test_hash_table_size(benchmark):
+    res = run_once(benchmark, hash_table_size.run)
+    print()
+    print(hash_table_size.format_result(res))
+    # Paper: 16-entry table within 2% of the 4-entry table everywhere.
+    assert res.max_gap_percent() < 5.0

@@ -1,0 +1,20 @@
+"""Bench: the abstract's headline claims (avg speedup, captured fraction)."""
+
+from repro.experiments import headline
+
+from conftest import registry_apps, run_once
+
+
+def test_headline_numbers(benchmark):
+    res = run_once(benchmark, headline.run, apps=registry_apps())
+    print()
+    print(headline.format_result(res))
+    # Paper: +11.2% average, 81% of the fully-connected gain, +19.3% on
+    # the sensitive subset.  The fast-mode subset over-samples sensitive
+    # apps (where our RBA beats the fully-connected SM), so the captured
+    # fraction can exceed 1 by more than the full-registry run's 1.09;
+    # the claim under test is that the combined design recovers most of
+    # the partitioning loss.
+    assert res.combined_average > 1.05
+    assert res.captured_fraction > 0.5
+    assert res.sensitive_average > res.combined_average

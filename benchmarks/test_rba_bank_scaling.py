@@ -1,0 +1,15 @@
+"""Bench: regenerate Sec. VI-B5 — RBA effectiveness vs bank count."""
+
+from repro.experiments import rba_banks
+
+from conftest import run_once
+
+
+def test_rba_bank_scaling(benchmark):
+    res = run_once(benchmark, rba_banks.run)
+    print()
+    print(rba_banks.format_result(res))
+    # Paper: benefit shrinks from +19.3% to +15.4% when banks double.
+    assert res.average("2banks") > 1.08
+    assert res.average("4banks") < res.average("2banks")
+    assert res.average("4banks") > 1.0

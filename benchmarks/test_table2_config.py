@@ -1,0 +1,24 @@
+"""Bench: Table II — the baseline configuration is what the paper states.
+
+Not a timing experiment; asserts the configuration contract that every
+other benchmark builds on, and times config construction as a trivial
+benchmark so it participates in --benchmark-only runs.
+"""
+
+from repro.config import volta_v100
+
+from conftest import run_once
+
+
+def test_table2_baseline_config(benchmark):
+    cfg = run_once(benchmark, volta_v100)
+    print()
+    print(cfg.describe())
+    assert cfg.num_sms == 80
+    assert cfg.subcores_per_sm == 4
+    assert cfg.max_warps_per_sm == 64
+    assert cfg.rf_banks_per_subcore == 2
+    assert cfg.collector_units_per_subcore == 2
+    assert cfg.scheduler == "gto"
+    assert cfg.memory.shared_mem_banks == 32
+    assert cfg.memory.l2_size_bytes == 6 * 1024 * 1024

@@ -1,0 +1,59 @@
+"""Quickstart: build a kernel, simulate it, measure the sub-core effect.
+
+Run:  python examples/quickstart.py
+
+Builds the paper's FMA microbenchmark family with the fluent TraceBuilder
+(8 compute warps, optionally padded with empty warps so round-robin
+assignment lands all the work on one sub-core), then measures the cost of
+SM partitioning directly: the unbalanced layout runs ~4x slower on a
+partitioned Volta SM, is unaffected on a monolithic (Kepler-style) SM, and
+is fully repaired by hashed SRR sub-core assignment.
+"""
+
+from repro import kepler, simulate, srr, volta_v100
+from repro.trace import TraceBuilder, make_kernel
+
+
+def build_fma_kernel(layout: str):
+    """Fig. 4's layouts: 8 compute warps, 24 empty warps for the padded ones."""
+    compute = {"baseline": set(range(8)), "unbalanced": set(range(0, 32, 4))}[layout]
+    total = 8 if layout == "baseline" else 32
+    warps = []
+    for i in range(total):
+        builder = TraceBuilder()
+        if i in compute:
+            builder.fma_chain(256)  # FMAs on register-resident data
+        builder.barrier()           # CTA-wide barrier before exit
+        warps.append(builder.build())
+    return make_kernel(f"fma-{layout}", warps)
+
+
+def main():
+    baseline = build_fma_kernel("baseline")
+    unbalanced = build_fma_kernel("unbalanced")
+
+    print("FMA microbenchmark on a partitioned Volta SM (4 sub-cores):")
+    base = simulate(baseline, volta_v100(), num_sms=1)
+    unb = simulate(unbalanced, volta_v100(), num_sms=1)
+    print(f"  baseline layout:   {base.cycles:6d} cycles  (IPC {base.ipc:.2f})")
+    print(f"  unbalanced layout: {unb.cycles:6d} cycles  (IPC {unb.ipc:.2f})")
+    print(f"  slowdown from sub-core imbalance: {unb.cycles / base.cycles:.2f}x "
+          "(paper measures 3.9x on A100 silicon)")
+
+    print("\nSame binaries on a monolithic Kepler-style SM:")
+    kb = simulate(baseline, kepler(), num_sms=1)
+    ku = simulate(unbalanced, kepler(), num_sms=1)
+    print(f"  baseline: {kb.cycles} cycles, unbalanced: {ku.cycles} cycles "
+          f"({ku.cycles / kb.cycles:.2f}x — no partitioning, no penalty)")
+
+    print("\nFix it in hardware with hashed (SRR) sub-core assignment:")
+    fixed = simulate(unbalanced, srr(), num_sms=1)
+    print(f"  unbalanced layout under SRR: {fixed.cycles} cycles "
+          f"({unb.cycles / fixed.cycles:.2f}x faster than round-robin)")
+
+    print("\nNext: examples/register_pressure.py (the RBA scheduler) and "
+          "examples/warp_specialization.py (TPC-H).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Warp-specialized workloads and sub-core assignment (the TPC-H story).
+
+Run:  python examples/warp_specialization.py
+
+Warp-specialized programs (e.g. the snappy decompression kernels behind
+compressed TPC-H) give some warps far more work than others.  With the
+hardware's round-robin warp->sub-core assignment, a pathological program
+layout can pile every long-running warp onto one sub-core, which then
+serializes while its three siblings idle — resources are only released at
+thread-block granularity, so nothing can move in behind the stragglers.
+
+This example builds a TPC-H-like kernel (one long warp in every four),
+runs it under round-robin, SRR and Shuffle assignment, and prints both the
+speedup and the per-sub-core issue balance (Fig. 17's CoV metric).
+"""
+
+from repro import shuffle, simulate, srr, volta_v100
+from repro.workloads import get_kernel, scaled_imbalance_microbenchmark
+
+
+def report(name, stats, baseline_cycles):
+    speedup = (baseline_cycles / stats.cycles - 1) * 100
+    counts = stats.sms[0].issue_counts
+    print(f"  {name:12s} cycles={stats.cycles:7d}  speedup={speedup:+6.1f}%  "
+          f"issue CoV={stats.issue_cov():.2f}  per-sub-core={counts}")
+
+
+def run_kernel(title, kernel):
+    print(f"\n{title}")
+    base = simulate(kernel, volta_v100(), num_sms=1)
+    report("round-robin", base, base.cycles)
+    report("SRR", simulate(kernel, srr(), num_sms=1), base.cycles)
+    report("Shuffle", simulate(kernel, shuffle(), num_sms=1), base.cycles)
+
+
+def main():
+    # A synthetic warp-specialized kernel: every 4th warp does 16x the work.
+    run_kernel(
+        "synthetic warp-specialized kernel (1 long warp in 4, 16x work):",
+        scaled_imbalance_microbenchmark(16, base_fmas=64),
+    )
+
+    # The modelled TPC-H query 8 — the paper's worst baseline imbalance.
+    run_kernel("TPC-H query 8 (uncompressed database model):", get_kernel("tpcU-q8"))
+
+    # And the compressed query 9 with the snappy-style divergence.
+    run_kernel("TPC-H query 9 (compressed database model):", get_kernel("tpcC-q9"))
+
+    print(
+        "\nSRR spreads the every-4th-warp pattern perfectly (it was designed"
+        "\nfor it); Shuffle randomizes pathologies away and is within a few"
+        "\npercent — matching the paper's Figs. 15-17."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Command-line entry point: regenerate paper figures by name.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro fig10               # run one experiment, print its rows
+    python -m repro fig15 fig16 fig17   # several in one process (shared cache)
+    python -m repro all                 # everything (slow)
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict
+
+from . import experiments as ex
+
+EXPERIMENTS: Dict[str, Callable[[], None]] = {
+    "fig01": ex.fig01_partitioning.main,
+    "fig03": ex.fig03_fma_imbalance.main,
+    "fig08": ex.fig08_imbalance_scaling.main,
+    "fig09": ex.fig09_all_apps.main,
+    "fig10": ex.fig10_sensitive.main,
+    "fig11": ex.fig11_fc_rba.main,
+    "fig12": ex.fig12_cu_scaling.main,
+    "fig13": ex.fig13_area_power.main,
+    "fig14": ex.fig14_rf_utilization.main,
+    "fig15": ex.fig15_tpch_compressed.main,
+    "fig16": ex.fig16_tpch_uncompressed.main,
+    "fig17": ex.fig17_issue_cov.main,
+    "fig18": ex.fig18_sm_scaling.main,
+    "cu-validation": ex.cu_validation.main,
+    "rba-latency": ex.rba_latency.main,
+    "rba-banks": ex.rba_banks.main,
+    "hash-table": ex.hash_table_size.main,
+    "headline": ex.headline.main,
+    "ablation-mapping": ex.ablation_bank_mapping.main,
+    "subcore-granularity": ex.subcore_granularity.main,
+    "work-stealing": ex.work_stealing_study.main,
+    "effect4": ex.effect4_concurrent.main,
+    "ablation-scheduler": ex.ablation_baseline_scheduler.main,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args == ["list"] or "-h" in args or "--help" in args:
+        print(__doc__)
+        print("experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+    if args == ["all"]:
+        args = list(EXPERIMENTS)
+    unknown = [a for a in args if a not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"options: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in args:
+        print(f"\n=== {name} ===")
+        EXPERIMENTS[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""Hardware configuration dataclasses and named presets."""
+
+from .gpu_config import AssignmentPolicy, GPUConfig, MemoryConfig, SchedulerPolicy
+from .presets import (
+    PRESETS,
+    ampere_a100,
+    bank_stealing,
+    fully_connected,
+    kepler,
+    rba,
+    shuffle,
+    shuffle_rba,
+    srr,
+    tpch_config,
+    volta_v100,
+    with_cus,
+)
+
+__all__ = [
+    "AssignmentPolicy",
+    "GPUConfig",
+    "MemoryConfig",
+    "SchedulerPolicy",
+    "PRESETS",
+    "ampere_a100",
+    "bank_stealing",
+    "fully_connected",
+    "kepler",
+    "rba",
+    "shuffle",
+    "shuffle_rba",
+    "srr",
+    "tpch_config",
+    "volta_v100",
+    "with_cus",
+]

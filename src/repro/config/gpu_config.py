@@ -1,0 +1,198 @@
+"""GPU hardware configuration.
+
+The fields mirror Table II of the paper ("Baseline simulator configuration
+parameters") plus the knobs the evaluation sweeps: collector units per
+sub-core, register-file banks per sub-core, sub-core count (1 == a
+fully-connected/monolithic SM), warp-scheduler policy, sub-core assignment
+policy, and the RBA score-update latency.
+
+Configurations are plain frozen dataclasses so a design point is hashable and
+printable; use :func:`dataclasses.replace` (re-exported as
+:meth:`GPUConfig.replace`) to derive variants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+
+class SchedulerPolicy:
+    """Warp-scheduler policy names accepted by ``GPUConfig.scheduler``."""
+
+    LRR = "lrr"
+    GTO = "gto"
+    RBA = "rba"
+    BANK_STEALING = "bank_stealing"
+    TWO_LEVEL = "two_level"
+
+    ALL = (LRR, GTO, RBA, BANK_STEALING, TWO_LEVEL)
+
+
+class AssignmentPolicy:
+    """Sub-core warp-assignment policy names for ``GPUConfig.assignment``."""
+
+    ROUND_ROBIN = "rr"
+    SRR = "srr"
+    SHUFFLE = "shuffle"
+    HASH_TABLE = "hash_table"
+
+    ALL = (ROUND_ROBIN, SRR, SHUFFLE, HASH_TABLE)
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Latency/capacity parameters for the simplified memory hierarchy."""
+
+    l1_size_bytes: int = 128 * 1024
+    l1_line_bytes: int = 128
+    l1_ways: int = 4
+    l1_hit_latency: int = 28
+    l1_mshrs: int = 64
+
+    l2_size_bytes: int = 6 * 1024 * 1024
+    l2_line_bytes: int = 128
+    l2_ways: int = 24
+    l2_hit_latency: int = 190
+    l2_mshrs: int = 128
+
+    dram_latency: int = 320
+    dram_bytes_per_cycle: int = 64
+    #: Independent HBM channels; 1 keeps the single-channel reproduction
+    #: configuration, larger values scale bandwidth for multi-SM studies.
+    dram_channels: int = 1
+
+    shared_mem_size_bytes: int = 96 * 1024
+    shared_mem_banks: int = 32
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Full design point for a simulated GPU.
+
+    The defaults model the paper's baseline: an NVIDIA Volta V100 with
+    80 SMs, 4 sub-cores per SM, 2 register-file banks and 2 collector units
+    per sub-core, GTO warp scheduling and round-robin sub-core assignment.
+    """
+
+    name: str = "volta-v100"
+
+    # -- chip level -------------------------------------------------------
+    num_sms: int = 80
+
+    # -- SM partitioning ---------------------------------------------------
+    #: Number of sub-cores each SM is partitioned into.  ``1`` models the
+    #: hypothetical fully-connected (monolithic) SM of Fig. 1: all issue
+    #: slots, collector units and register banks live in one shared pool.
+    subcores_per_sm: int = 4
+    #: Warp-instruction issue slots per sub-core per cycle.
+    issue_width: int = 1
+
+    # -- occupancy limits --------------------------------------------------
+    max_warps_per_sm: int = 64
+    max_ctas_per_sm: int = 32
+    registers_per_sm: int = 65536 * 4      # 64 KB per sub-core x 4
+    shared_mem_per_sm: int = 96 * 1024
+
+    # -- register file / operand collector ---------------------------------
+    #: Register-file banks owned by each sub-core (Volta/Ampere: 2).
+    rf_banks_per_subcore: int = 2
+    #: Collector units per sub-core (validated at 2 for the V100 in Sec. V).
+    collector_units_per_subcore: int = 2
+    #: Reads a single bank can grant per cycle.
+    bank_read_ports: int = 1
+    #: Register→bank mapping policy name (see :mod:`repro.regalloc`).
+    bank_mapping: str = "warp_swizzle"
+
+    # -- scheduling ---------------------------------------------------------
+    scheduler: str = SchedulerPolicy.GTO
+    assignment: str = AssignmentPolicy.ROUND_ROBIN
+    #: Cycles by which RBA scores lag the true arbitration queue state
+    #: (Sec. VI-B4 sweeps 0..20).
+    rba_score_latency: int = 0
+    #: Entries in the hashed-assignment hash-function table (Sec. IV-B3).
+    hash_table_entries: int = 4
+    #: Seed for the Shuffle assignment's permutations.
+    assignment_seed: int = 0xC0FFEE
+
+    # -- dynamic warp migration (the work-stealing design of Sec. VII) -------
+    #: Enable dynamic warp migration between sub-cores: an idle sub-core
+    #: steals a runnable warp from the most loaded one.  The paper argues
+    #: this is prohibitively expensive in hardware; the simulator supports
+    #: it as an upper-bound study (see experiments.work_stealing_study).
+    work_stealing: bool = False
+    #: Cycles a migrated warp is unavailable while its register state
+    #: transfers between sub-core register files.
+    migration_latency: int = 64
+
+    # -- execution units per sub-core ---------------------------------------
+    fp32_lanes: int = 16
+    int_lanes: int = 16
+    sfu_lanes: int = 4
+    tensor_units: int = 1
+    ldst_units: int = 8
+
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+
+    def __post_init__(self) -> None:
+        if self.subcores_per_sm < 1:
+            raise ValueError("subcores_per_sm must be >= 1")
+        if self.rf_banks_per_subcore < 1:
+            raise ValueError("rf_banks_per_subcore must be >= 1")
+        if self.collector_units_per_subcore < 1:
+            raise ValueError("collector_units_per_subcore must be >= 1")
+        if self.max_warps_per_sm % self.subcores_per_sm != 0:
+            raise ValueError(
+                "max_warps_per_sm must divide evenly across sub-cores "
+                f"({self.max_warps_per_sm} warps, {self.subcores_per_sm} sub-cores)"
+            )
+        if self.scheduler not in SchedulerPolicy.ALL:
+            raise ValueError(f"unknown scheduler policy: {self.scheduler!r}")
+        if self.assignment not in AssignmentPolicy.ALL:
+            raise ValueError(f"unknown assignment policy: {self.assignment!r}")
+        if self.rba_score_latency < 0:
+            raise ValueError("rba_score_latency must be >= 0")
+        if self.migration_latency < 0:
+            raise ValueError("migration_latency must be >= 0")
+
+    # -- derived quantities --------------------------------------------------
+
+    @property
+    def is_fully_connected(self) -> bool:
+        """True when the SM is modelled as a single monolithic scheduler domain."""
+        return self.subcores_per_sm == 1
+
+    @property
+    def max_warps_per_subcore(self) -> int:
+        return self.max_warps_per_sm // self.subcores_per_sm
+
+    @property
+    def total_rf_banks(self) -> int:
+        """Register-file banks across the whole SM."""
+        return self.rf_banks_per_subcore * self.subcores_per_sm
+
+    @property
+    def total_collector_units(self) -> int:
+        return self.collector_units_per_subcore * self.subcores_per_sm
+
+    def replace(self, **changes) -> "GPUConfig":
+        """Return a copy with ``changes`` applied (dataclasses.replace)."""
+        return dataclasses.replace(self, **changes)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (Table II style)."""
+        rows = [
+            ("Number of SMs", self.num_sms),
+            ("Sub-Cores per SM", self.subcores_per_sm),
+            ("Warp Scheduler Algorithm", self.scheduler),
+            ("Sub-Core Assignment", self.assignment),
+            ("Max Warps per SM", self.max_warps_per_sm),
+            ("RF Banks per Sub-core", self.rf_banks_per_subcore),
+            ("CUs per Sub-core", self.collector_units_per_subcore),
+            ("Shared Memory Banks", self.memory.shared_mem_banks),
+            ("L1 / Shared Memory Cache", f"{self.memory.l1_size_bytes // 1024} KB"),
+            ("L2 Cache", f"{self.memory.l2_ways}-way "
+                         f"{self.memory.l2_size_bytes // (1024 * 1024)}MB"),
+        ]
+        width = max(len(k) for k, _ in rows)
+        return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)

@@ -1,0 +1,57 @@
+"""Collector units: the staging slots of the operand collector.
+
+Each CU holds a single warp instruction while its source operands are read
+from the register-file banks (Fig. 2).  An operand entry is *pending* until
+the arbitration unit grants its bank read; when no entries are pending the
+CU is ready to dispatch to an execution unit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from ..isa import Instruction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .warp import Warp
+
+
+class CollectorUnit:
+    """One collector unit of a sub-core's operand collector."""
+
+    __slots__ = ("cu_id", "warp", "instruction", "pending_operands", "allocated_cycle")
+
+    def __init__(self, cu_id: int):
+        self.cu_id = cu_id
+        self.warp: Optional["Warp"] = None
+        self.instruction: Optional[Instruction] = None
+        self.pending_operands = 0
+        self.allocated_cycle = -1
+
+    @property
+    def free(self) -> bool:
+        return self.instruction is None
+
+    @property
+    def ready(self) -> bool:
+        """All operands collected; instruction awaiting dispatch."""
+        return self.instruction is not None and self.pending_operands == 0
+
+    def allocate(self, warp: "Warp", inst: Instruction, cycle: int) -> None:
+        if not self.free:
+            raise RuntimeError(f"CU {self.cu_id} double allocation")
+        self.warp = warp
+        self.instruction = inst
+        self.pending_operands = inst.num_src_operands
+        self.allocated_cycle = cycle
+
+    def operand_granted(self) -> None:
+        if self.pending_operands <= 0:
+            raise RuntimeError(f"CU {self.cu_id} grant with no pending operands")
+        self.pending_operands -= 1
+
+    def release(self) -> None:
+        self.warp = None
+        self.instruction = None
+        self.pending_operands = 0
+        self.allocated_cycle = -1

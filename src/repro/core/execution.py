@@ -1,0 +1,92 @@
+"""Execution-unit pipelines of a scheduler domain.
+
+Each functional-unit class (FP32 / INT / SFU / TENSOR / LDST) is a pipeline
+with an issue port that stays busy for the instruction's *initiation
+interval* — the larger of the opcode's own interval and the lane-width
+factor ``ceil(32 / lanes)`` (16 FP32 lanes per Volta sub-core mean an FP32
+warp instruction occupies the port for 2 cycles).
+
+Dispatch returns the writeback cycle.  Global memory instructions get their
+completion time from the memory subsystem instead of a fixed latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..config import GPUConfig
+from ..isa import FuncUnit, Instruction
+
+
+@dataclass
+class PipelineStats:
+    issued: int = 0
+    busy_cycles: int = 0
+
+
+class Pipeline:
+    """One functional-unit class of a scheduler domain.
+
+    A domain with ``lanes < 32`` has a single issue port whose initiation
+    interval is stretched by ``ceil(32 / lanes)`` (16 FP32 lanes -> 2
+    cycles per warp instruction).  A monolithic domain pooling several
+    sub-cores' lanes (``lanes >= 64``) exposes ``lanes // 32`` independent
+    ports, so a fully-connected SM can start multiple FP32 warps per cycle
+    the way its four physical sub-units would.
+    """
+
+    __slots__ = ("unit", "lane_interval", "port_free", "stats")
+
+    def __init__(self, unit: FuncUnit, lanes: int):
+        self.unit = unit
+        # A unit with 0 lanes (e.g. no tensor cores) is modelled as very
+        # slow rather than absent.
+        self.lane_interval = (32 + lanes - 1) // lanes if lanes > 0 else 64
+        ports = max(1, lanes // 32)
+        self.port_free = [0] * ports
+        self.stats = PipelineStats()
+
+    def can_accept(self, now: int) -> bool:
+        return min(self.port_free) <= now
+
+    def issue(self, inst: Instruction, now: int) -> int:
+        """Occupy the freest port; return the execution-complete cycle."""
+        interval = max(inst.opcode.initiation_interval, self.lane_interval)
+        ports = self.port_free
+        idx = min(range(len(ports)), key=ports.__getitem__)
+        ports[idx] = now + interval
+        self.stats.issued += 1
+        self.stats.busy_cycles += interval
+        return now + interval + inst.opcode.latency
+
+
+class ExecutionUnits:
+    """The pipeline set of one scheduler domain (sub-core or monolithic SM)."""
+
+    def __init__(self, config: GPUConfig, scale: int = 1):
+        lanes = {
+            FuncUnit.FP32: config.fp32_lanes * scale,
+            FuncUnit.INT: config.int_lanes * scale,
+            FuncUnit.SFU: config.sfu_lanes * scale,
+            FuncUnit.TENSOR: config.tensor_units * 8 * scale,  # 8 lanes per unit
+            FuncUnit.LDST: config.ldst_units * scale,
+            FuncUnit.BRANCH: 32,
+            FuncUnit.SYNC: 32,
+        }
+        self.pipelines: Dict[FuncUnit, Pipeline] = {
+            unit: Pipeline(unit, n) for unit, n in lanes.items()
+        }
+
+    def pipeline_for(self, inst: Instruction) -> Pipeline:
+        return self.pipelines[inst.opcode.unit]
+
+    def can_accept(self, inst: Instruction, now: int) -> bool:
+        return self.pipeline_for(inst).can_accept(now)
+
+    def issue(self, inst: Instruction, now: int) -> int:
+        return self.pipeline_for(inst).issue(inst, now)
+
+    def next_free_cycle(self) -> int:
+        """Earliest cycle any busy port frees (for fast-forward)."""
+        return min(min(p.port_free) for p in self.pipelines.values())

@@ -1,0 +1,45 @@
+"""The banked register-file slice owned by one scheduler domain.
+
+On a partitioned SM each sub-core owns ``rf_banks_per_subcore`` banks
+(two, on Volta); a fully-connected SM pools all banks into one slice.  The
+slice's job in the timing model is bank *mapping* — translating an
+instruction's architectural operands into the banks whose arbitration
+queues the reads join — and write-port accounting.
+
+Writebacks use a dedicated write port per bank and therefore never steal
+read bandwidth; the paper's bottleneck is the read-operand stage.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..isa import Instruction
+from ..regalloc import BankMapper, get_mapping
+
+
+class RegisterFile:
+    """Bank-mapping view of one register-file slice."""
+
+    def __init__(self, num_banks: int, mapping: str | BankMapper = "warp_swizzle"):
+        if num_banks < 1:
+            raise ValueError("num_banks must be >= 1")
+        self.num_banks = num_banks
+        self.mapper: BankMapper = (
+            get_mapping(mapping) if isinstance(mapping, str) else mapping
+        )
+        self.reads = 0
+        self.writes = 0
+
+    def bank_of(self, reg: int, warp_id: int) -> int:
+        return self.mapper(reg, warp_id, self.num_banks)
+
+    def src_banks(self, inst: Instruction, warp_id: int) -> Tuple[int, ...]:
+        """Banks of each source operand (duplicates preserved)."""
+        return tuple(self.mapper(r, warp_id, self.num_banks) for r in inst.src_regs)
+
+    def note_reads(self, count: int) -> None:
+        self.reads += count
+
+    def note_write(self) -> None:
+        self.writes += 1

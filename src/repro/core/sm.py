@@ -1,0 +1,262 @@
+"""The Streaming Multiprocessor.
+
+An SM hosts up to ``max_ctas_per_sm`` resident thread blocks whose warps
+are statically assigned to sub-cores by the configured assignment policy.
+The SM drives its sub-cores' per-cycle phases, owns the writeback event
+heap (which doubles as the fast-forward horizon during memory stalls), and
+enforces the CTA-granularity resource lifecycle: register-file space, warp
+slots and shared memory are claimed when a CTA is admitted and released
+only when its last warp exits.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+from ..config import GPUConfig
+from ..isa import Instruction
+from ..memory import MemorySubsystem
+from ..trace import CTATrace, KernelTrace
+from .subcore import SubCore
+from .subcore_assignment import SubcoreAssignment, make_assignment
+from .thread_block import ThreadBlock
+from .warp import RUNNABLE_STATES, Warp, WarpState
+
+
+class StreamingMultiprocessor:
+    """One SM: sub-cores + shared memory path + CTA residency."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: GPUConfig,
+        memory: MemorySubsystem,
+        assignment: Optional[SubcoreAssignment] = None,
+        collect_timeline: bool = False,
+    ):
+        self.sm_id = sm_id
+        self.config = config
+        self.memory = memory
+        self.assignment = assignment if assignment is not None else make_assignment(config)
+        if self.assignment.num_subcores != config.subcores_per_sm:
+            raise ValueError("assignment policy sized for a different sub-core count")
+        self.subcores = [SubCore(i, config, self) for i in range(config.subcores_per_sm)]
+
+        self.resident_ctas: List[ThreadBlock] = []
+        self.shared_mem_used = 0
+        self.shared_conflict_degree = 1
+
+        self._wb_heap: List[Tuple[int, int, Warp, int]] = []
+        self._seq = itertools.count()
+        self._warp_id_counter = 0
+
+        # statistics
+        self.total_instructions = 0
+        self.ctas_completed = 0
+        self.migrations = 0
+        self.resources_freed = False
+        self.rf_read_timeline: Optional[List[Tuple[int, int]]] = (
+            [] if collect_timeline else None
+        )
+        self.warp_finish_cycles: List[int] = []
+        self.cta_latencies: List[int] = []
+
+    # -- CTA admission --------------------------------------------------------
+
+    def can_ever_fit(self, kernel: KernelTrace, cta: CTATrace) -> bool:
+        """Whether an empty SM could host this CTA at all (sanity check)."""
+        if cta.num_warps > self.config.max_warps_per_sm:
+            return False
+        if kernel.shared_mem_per_cta > self.config.shared_mem_per_sm:
+            return False
+        return kernel.regs_per_cta() <= self.config.registers_per_sm
+
+    def try_allocate_cta(
+        self, kernel: KernelTrace, cta: CTATrace, cta_id: int, now: int
+    ) -> bool:
+        """Admit one CTA if every resource check passes; assigns its warps."""
+        cfg = self.config
+        if len(self.resident_ctas) >= cfg.max_ctas_per_sm:
+            return False
+        if self.shared_mem_used + kernel.shared_mem_per_cta > cfg.shared_mem_per_sm:
+            return False
+        plan = self.assignment.plan(cta.num_warps)
+        regs_per_warp = kernel.regs_per_warp()
+        demand = Counter(plan)
+        for sc_id, count in demand.items():
+            sc = self.subcores[sc_id]
+            if sc.free_slots < count:
+                return False
+            if sc.free_registers() < count * regs_per_warp:
+                return False
+
+        self.assignment.commit(cta.num_warps)
+        tb = ThreadBlock(
+            cta_id,
+            cta,
+            regs=kernel.regs_per_cta(),
+            shared_mem=kernel.shared_mem_per_cta,
+            shared_conflict_degree=kernel.shared_conflict_degree,
+        )
+        tb.start_cycle = now
+        self.shared_mem_used += kernel.shared_mem_per_cta
+        base_warp_id = self._warp_id_counter
+        self._warp_id_counter += cta.num_warps
+        for i, sc_id in enumerate(plan):
+            warp = Warp(
+                warp_id=base_warp_id + i,
+                cta=tb,
+                trace=cta.warps[i],
+                subcore_id=sc_id,
+                age=0,  # assigned by the sub-core
+            )
+            self.subcores[sc_id].add_warp(warp, regs_per_warp)
+            tb.add_warp(warp)
+        self.resident_ctas.append(tb)
+        return True
+
+    def _release_cta(self, tb: ThreadBlock, now: int) -> None:
+        regs_per_warp = tb.regs // tb.num_warps
+        for warp in tb.warps:
+            self.subcores[warp.subcore_id].remove_warp(warp, regs_per_warp)
+        self.shared_mem_used -= tb.shared_mem
+        self.resident_ctas.remove(tb)
+        tb.finish_cycle = now
+        if tb.start_cycle is not None:
+            self.cta_latencies.append(now - tb.start_cycle)
+        self.ctas_completed += 1
+        self.resources_freed = True
+
+    # -- callbacks from sub-cores ------------------------------------------------
+
+    def note_issue(self, subcore_id: int) -> None:
+        self.total_instructions += 1
+
+    def warp_at_barrier(self, warp: Warp) -> None:
+        warp.cta.arrive_at_barrier(warp)
+
+    def warp_exited(self, warp: Warp, now: int) -> None:
+        warp.finish(now)
+        self.warp_finish_cycles.append(now)
+        warp.cta.note_warp_exit(warp)
+        if warp.cta.finished:
+            self._release_cta(warp.cta, now)
+
+    def memory_access(self, inst: Instruction, now: int, warp: Optional[Warp] = None) -> int:
+        degree = (
+            warp.cta.shared_conflict_degree if warp is not None
+            else self.shared_conflict_degree
+        )
+        return self.memory.access(inst, now, degree)
+
+    def schedule_writeback(self, cycle: int, warp: Warp, reg: int) -> None:
+        heapq.heappush(self._wb_heap, (cycle, next(self._seq), warp, reg))
+
+    # -- simulation --------------------------------------------------------------
+
+    def step(self, now: int) -> None:
+        """Advance the SM one cycle."""
+        heap = self._wb_heap
+        while heap and heap[0][0] <= now:
+            _, _, warp, reg = heapq.heappop(heap)
+            if reg is None:
+                # Migration arrival: the warp's register state has landed
+                # on its new sub-core.
+                warp.set_state(WarpState.READY)
+                warp.refresh_state()
+            else:
+                warp.complete_write(reg)
+
+        # Dispatch first (CUs completed in earlier cycles), then issue (new
+        # CU allocations enqueue their reads), then collect — so an operand
+        # can be granted in its allocation cycle but dispatch is always at
+        # least one cycle after allocation.
+        grants = 0
+        for sc in self.subcores:
+            sc.dispatch_ready_cus(now)
+        for sc in self.subcores:
+            sc.issue(now)
+        for sc in self.subcores:
+            grants += sc.collect_operands(now)
+
+        if self.config.work_stealing:
+            self._try_steal(now)
+
+        if self.rf_read_timeline is not None and grants:
+            self.rf_read_timeline.append((now, grants))
+
+    def _try_steal(self, now: int) -> None:
+        """Dynamic warp migration (Sec. VII's work-stealing design).
+
+        A sub-core whose resident warps are all finished or parked at the
+        CTA barrier steals the youngest runnable warp from the most loaded
+        sub-core, paying ``migration_latency`` cycles of register-state
+        transfer during which the warp cannot issue.
+        """
+        thieves = []
+        donors = []
+        for sc in self.subcores:
+            runnable = sum(1 for w in sc.warps if w.state in RUNNABLE_STATES)
+            if runnable == 0 and sc.free_slots > 0:
+                thieves.append(sc)
+            elif runnable >= 2:
+                donors.append((runnable, sc))
+        if not thieves or not donors:
+            return
+        donors.sort(key=lambda t: -t[0])
+        for thief in thieves:
+            if not donors or donors[0][0] < 2:
+                break
+            runnable, donor = donors[0]
+            victims = [w for w in donor.warps if w.state in RUNNABLE_STATES]
+            warp = max(victims, key=lambda w: w.age)  # youngest: least sunk work
+            regs_per_warp = warp.cta.regs // warp.cta.num_warps
+            if thief.free_registers() < regs_per_warp:
+                continue
+            donor.remove_warp(warp, regs_per_warp)
+            warp.subcore_id = thief.subcore_id
+            thief.add_warp(warp, regs_per_warp)
+            warp.set_state(WarpState.MIGRATING)
+            heapq.heappush(
+                self._wb_heap,
+                (now + self.config.migration_latency, next(self._seq), warp, None),
+            )
+            self.migrations += 1
+            donors[0] = (runnable - 1, donor)
+            donors.sort(key=lambda t: -t[0])
+
+    def next_event(self, now: int) -> Optional[int]:
+        """Earliest cycle this SM needs to step again, or None if idle.
+
+        ``now + 1`` while any sub-core can make progress on its own;
+        otherwise the next writeback event (the memory-stall fast-forward).
+        """
+        if not self.resident_ctas:
+            return None
+        if any(not sc.quiescent() for sc in self.subcores):
+            return now + 1
+        if self._wb_heap:
+            return self._wb_heap[0][0]
+        return None
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        return not self.resident_ctas
+
+    def issue_counts(self) -> List[int]:
+        """Instructions issued by each sub-core scheduler (Fig. 17 input)."""
+        return [sc.instructions_issued for sc in self.subcores]
+
+    def total_rf_reads(self) -> int:
+        return sum(sc.register_file.reads for sc in self.subcores)
+
+    def total_bank_conflict_cycles(self) -> int:
+        return sum(sc.arbitration.conflict_cycles for sc in self.subcores)
+
+    def occupancy(self) -> Dict[int, int]:
+        return {sc.subcore_id: len(sc.warps) for sc in self.subcores}

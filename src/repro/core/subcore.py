@@ -1,0 +1,244 @@
+"""The sub-core: one scheduler domain of a partitioned SM.
+
+Each sub-core owns a warp scheduler, a register-file slice with its
+arbitration unit, a handful of collector units, and a set of execution
+pipelines.  A fully-connected SM is modelled as a single sub-core whose
+config pools every bank, CU, lane and issue slot.
+
+Per-cycle sequence (driven by :class:`~repro.core.sm.StreamingMultiprocessor`):
+
+1. **dispatch** — collector units whose operands were all collected in
+   earlier cycles send their instruction to the matching execution pipeline
+   (if its issue port is free) and are released;
+2. **issue** — the warp scheduler picks ready warps and issues their next
+   instruction into a free collector unit (or directly, for instructions
+   with no register-file sources), enqueueing its bank read requests;
+3. **collect** — the arbitration unit grants one read per bank, including
+   requests enqueued this cycle.
+
+An operand can thus be granted in its allocation cycle, but dispatch is
+always at least one cycle after allocation (the collect→dispatch pipeline
+boundary), so a conflict-free instruction occupies its CU for one cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set, TYPE_CHECKING
+
+from ..config import GPUConfig
+from ..isa import Instruction
+from .arbitration import ArbitrationUnit
+from .collector_unit import CollectorUnit
+from .execution import ExecutionUnits
+from .register_file import RegisterFile
+from .warp import Warp, WarpState
+from .warp_scheduler import WarpScheduler, make_scheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .sm import StreamingMultiprocessor
+
+
+class SubCore:
+    """One sub-core of an SM."""
+
+    def __init__(self, subcore_id: int, config: GPUConfig, sm: "StreamingMultiprocessor"):
+        self.subcore_id = subcore_id
+        self.config = config
+        self.sm = sm
+        self.register_file = RegisterFile(
+            config.rf_banks_per_subcore, config.bank_mapping
+        )
+        self.arbitration = ArbitrationUnit(
+            config.rf_banks_per_subcore,
+            read_ports=config.bank_read_ports,
+            score_latency=config.rba_score_latency,
+        )
+        self.scheduler: WarpScheduler = make_scheduler(
+            config, self.arbitration, self.register_file
+        )
+        self.collector_units = [
+            CollectorUnit(i) for i in range(config.collector_units_per_subcore)
+        ]
+        self.execution = ExecutionUnits(config)
+
+        self.max_warps = config.max_warps_per_subcore
+        self.max_registers = config.registers_per_sm // config.subcores_per_sm
+        self.warps: List[Warp] = []
+        #: Warps currently in the READY state (maintained by Warp.set_state).
+        self.ready: set = set()
+        self.registers_used = 0
+        self._age_counter = 0
+        self._busy_cus = 0
+
+        # statistics
+        self.instructions_issued = 0
+        self.issue_stall_no_cu = 0
+        self.issue_stall_no_ready = 0
+        self.steals = 0
+
+    # -- occupancy ---------------------------------------------------------
+
+    @property
+    def free_slots(self) -> int:
+        return self.max_warps - len(self.warps)
+
+    def free_registers(self) -> int:
+        return self.max_registers - self.registers_used
+
+    def add_warp(self, warp: Warp, regs_per_warp: int) -> None:
+        if self.free_slots <= 0:
+            raise RuntimeError(f"sub-core {self.subcore_id} warp slots exhausted")
+        warp.age = self._age_counter
+        self._age_counter += 1
+        self.warps.append(warp)
+        warp.ready_pool = self.ready
+        if warp.state is WarpState.READY:
+            self.ready.add(warp)
+        self.registers_used += regs_per_warp
+
+    def remove_warp(self, warp: Warp, regs_per_warp: int) -> None:
+        self.warps.remove(warp)
+        self.ready.discard(warp)
+        warp.ready_pool = None
+        self.registers_used -= regs_per_warp
+        self.scheduler.note_warp_removed(warp)
+
+    # -- per-cycle phases ------------------------------------------------------
+
+    def dispatch_ready_cus(self, now: int) -> None:
+        """Phase 1: send fully-collected instructions to execution."""
+        if not self._busy_cus:
+            return
+        for cu in self.collector_units:
+            if not cu.ready:
+                continue
+            inst = cu.instruction
+            warp = cu.warp
+            assert inst is not None and warp is not None
+            if not self.execution.can_accept(inst, now):
+                continue
+            self._execute(warp, inst, now)
+            cu.release()
+            self._busy_cus -= 1
+
+    def collect_operands(self, now: int) -> int:
+        """Phase 2: per-bank arbitration grants."""
+        grants = self.arbitration.grant_cycle(now)
+        if grants:
+            self.register_file.note_reads(grants)
+        return grants
+
+    def issue(self, now: int) -> int:
+        """Phase 3: warp scheduler issue; returns instructions issued."""
+        if not self.ready:
+            self.issue_stall_no_ready += 1
+            return 0
+        issued = 0
+        issued_warps: Set = set()
+        for _ in range(self.config.issue_width):
+            if issued_warps:
+                candidates = [w for w in self.ready if w not in issued_warps]
+            else:
+                candidates = list(self.ready)
+            if not candidates:
+                self.issue_stall_no_ready += 1
+                break
+            warp = self.scheduler.select(candidates, now)
+            if warp is None:
+                break
+            if not self._issue_warp(warp, now):
+                # Selected warp could not issue (no CU / port busy): stall
+                # this slot, as the hardware scheduler would.
+                self.issue_stall_no_cu += 1
+                break
+            issued_warps.add(warp)
+            issued += 1
+
+        # Bank-stealing pass: fill a still-free CU with a warp whose
+        # operands sit in idle banks (Jing et al. [36]).
+        if self.scheduler.steals_banks:
+            free_cu = self._free_cu()
+            if free_cu is not None:
+                candidates = [
+                    w
+                    for w in self.ready
+                    if w not in issued_warps
+                    and w.next_instruction.reads_register_file
+                ]
+                victim = (
+                    self.scheduler.steal_candidate(candidates, now)
+                    if candidates
+                    else None
+                )
+                if victim is not None:
+                    self._allocate_cu(free_cu, victim, victim.next_instruction, now)
+                    self._post_issue(victim, victim.next_instruction, now)
+                    self.steals += 1
+                    issued += 1
+        return issued
+
+    # -- issue helpers ------------------------------------------------------------
+
+    def _free_cu(self) -> Optional[CollectorUnit]:
+        for cu in self.collector_units:
+            if cu.free:
+                return cu
+        return None
+
+    def _issue_warp(self, warp: Warp, now: int) -> bool:
+        inst = warp.next_instruction
+        if inst.reads_register_file:
+            cu = self._free_cu()
+            if cu is None:
+                return False
+            self._allocate_cu(cu, warp, inst, now)
+        else:
+            # Direct path: no operands to collect.
+            if not self.execution.can_accept(inst, now):
+                return False
+            self._execute(warp, inst, now)
+        self._post_issue(warp, inst, now)
+        return True
+
+    def _allocate_cu(self, cu: CollectorUnit, warp: Warp, inst: Instruction, now: int) -> None:
+        cu.allocate(warp, inst, now)
+        self._busy_cus += 1
+        for reg in inst.src_regs:
+            bank = self.register_file.bank_of(reg, warp.warp_id)
+            self.arbitration.request(cu, bank)
+
+    def _post_issue(self, warp: Warp, inst: Instruction, now: int) -> None:
+        warp.note_issue(inst)
+        self.scheduler.note_issue(warp)
+        self.instructions_issued += 1
+        self.sm.note_issue(self.subcore_id)
+        if inst.opcode.is_barrier:
+            self.sm.warp_at_barrier(warp)
+        elif inst.opcode.is_exit:
+            self.sm.warp_exited(warp, now)
+
+    def _execute(self, warp: Warp, inst: Instruction, now: int) -> None:
+        """Dispatch to the execution pipeline and schedule the writeback."""
+        t_exec = self.execution.issue(inst, now)
+        if inst.opcode.is_memory:
+            t_done = self.sm.memory_access(inst, t_exec, warp)
+        else:
+            t_done = t_exec
+        if inst.dst_reg is not None:
+            self.register_file.note_write()
+            self.sm.schedule_writeback(t_done, warp, inst.dst_reg)
+
+    # -- fast-forward support -------------------------------------------------------
+
+    def quiescent(self) -> bool:
+        """True when the sub-core cannot make progress next cycle on its own.
+
+        Progress requires a ready warp, a pending arbitration request, or an
+        occupied collector unit.  (Busy execution ports with nothing staged
+        behind them need no per-cycle attention.)
+        """
+        return not (self.arbitration.pending or self._busy_cus or self.ready)
+
+    @property
+    def active_warps(self) -> int:
+        return sum(1 for w in self.warps if not w.done)

@@ -1,0 +1,144 @@
+"""Warp→sub-core assignment policies (Sec. IV-B).
+
+Assignment happens once per warp, when the thread-block scheduler places a
+CTA on an SM, and is static for the warp's lifetime.  All policies are
+expressed as a function of ``W``, the count of warps previously allocated
+to this SM — matching the paper's hardware, where a counter (round robin)
+or a small hash-function table (Fig. 7) drives the sub-core multiplexer.
+
+``plan(num_warps)`` returns the sub-core ids of the next ``num_warps``
+warps *without* committing, so the SM can first check per-sub-core slot
+capacity; ``commit(num_warps)`` advances ``W``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..config import AssignmentPolicy, GPUConfig
+
+
+class SubcoreAssignment:
+    """Base class: stateful per-SM assignment of warps to sub-cores."""
+
+    name = "base"
+
+    def __init__(self, num_subcores: int):
+        if num_subcores < 1:
+            raise ValueError("num_subcores must be >= 1")
+        self.num_subcores = num_subcores
+        self.warps_allocated = 0  # the paper's W
+
+    def subcore_for(self, w: int) -> int:
+        """Sub-core of the ``w``-th warp ever allocated to this SM."""
+        raise NotImplementedError
+
+    def plan(self, num_warps: int) -> List[int]:
+        base = self.warps_allocated
+        return [self.subcore_for(base + i) for i in range(num_warps)]
+
+    def commit(self, num_warps: int) -> None:
+        self.warps_allocated += num_warps
+
+    def reset(self) -> None:
+        self.warps_allocated = 0
+
+
+class RoundRobinAssignment(SubcoreAssignment):
+    """The baseline: a 2-bit up-counter driving the sub-core multiplexer."""
+
+    name = "rr"
+
+    def subcore_for(self, w: int) -> int:
+        return w % self.num_subcores
+
+
+class SRRAssignment(SubcoreAssignment):
+    """Skewed Round Robin: ``subcore = (W + floor(W / N)) mod N`` (Eq. 1).
+
+    Keeps per-sub-core counts even while rotating the phase by one every
+    ``N`` warps — crafted to spread TPC-H's one-long-warp-in-four pattern.
+    """
+
+    name = "srr"
+
+    def subcore_for(self, w: int) -> int:
+        n = self.num_subcores
+        return (w + w // n) % n
+
+
+class ShuffleAssignment(SubcoreAssignment):
+    """Random Shuffle: per-group random permutations from a hash table.
+
+    The hash-function table holds ``table_entries`` entries, each encoding
+    the assignment of ``N`` consecutive warps as a random permutation of
+    the sub-cores — balance within every group is exact, so per-sub-core
+    counts never differ by more than one.  A 4-entry table repeats its
+    pattern every ``4 * N`` warps; a 16-entry table covers all 64 resident
+    warps without repetition (Sec. IV-B3).
+    """
+
+    name = "shuffle"
+
+    def __init__(self, num_subcores: int, table_entries: int = 4, seed: int = 0xC0FFEE):
+        super().__init__(num_subcores)
+        if table_entries < 1:
+            raise ValueError("table_entries must be >= 1")
+        self.table_entries = table_entries
+        rng = np.random.default_rng(seed)
+        self.table: List[List[int]] = [
+            list(rng.permutation(num_subcores)) for _ in range(table_entries)
+        ]
+
+    def subcore_for(self, w: int) -> int:
+        n = self.num_subcores
+        group = (w // n) % self.table_entries
+        return int(self.table[group][w % n])
+
+
+class HashTableAssignment(SubcoreAssignment):
+    """Arbitrary user-programmed hash-function table (Fig. 7 hardware).
+
+    Each entry lists the sub-core of ``N`` consecutive warps; entries need
+    not be permutations, so pathological (unbalanced) tables are allowed —
+    the SM's capacity check is what keeps them admissible.
+    """
+
+    name = "hash_table"
+
+    def __init__(self, num_subcores: int, table: Sequence[Sequence[int]]):
+        super().__init__(num_subcores)
+        if not table:
+            raise ValueError("hash table must have at least one entry")
+        for entry in table:
+            if len(entry) != num_subcores:
+                raise ValueError(
+                    f"each table entry must assign {num_subcores} warps"
+                )
+            if any(s < 0 or s >= num_subcores for s in entry):
+                raise ValueError("table entries must name valid sub-cores")
+        self.table = [list(e) for e in table]
+
+    def subcore_for(self, w: int) -> int:
+        n = self.num_subcores
+        group = (w // n) % len(self.table)
+        return self.table[group][w % n]
+
+
+def make_assignment(config: GPUConfig) -> SubcoreAssignment:
+    """Instantiate the policy named by ``config.assignment``."""
+    n = config.subcores_per_sm
+    if config.assignment == AssignmentPolicy.ROUND_ROBIN:
+        return RoundRobinAssignment(n)
+    if config.assignment == AssignmentPolicy.SRR:
+        return SRRAssignment(n)
+    if config.assignment == AssignmentPolicy.SHUFFLE:
+        return ShuffleAssignment(
+            n, table_entries=config.hash_table_entries, seed=config.assignment_seed
+        )
+    raise ValueError(
+        f"assignment policy {config.assignment!r} needs an explicit table; "
+        "construct HashTableAssignment directly"
+    )

@@ -1,0 +1,88 @@
+"""Thread-block (CTA) runtime state.
+
+The CTA is the resource-management granularity: registers, shared memory
+and warp slots are claimed when the thread-block scheduler places a CTA on
+an SM and released only when *every* warp of the CTA has exited.  A warp
+that finishes early therefore keeps occupying its sub-core slot — the
+mechanism behind the sub-core imbalance pathology (Sec. III-B).
+
+Barriers are CTA-wide: a warp issuing ``BAR`` waits until every other warp
+of the CTA has either arrived at the barrier or already exited (CUDA
+semantics for exited warps).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..trace import CTATrace
+from .warp import Warp, WarpState
+
+
+class ThreadBlock:
+    """One CTA resident on an SM."""
+
+    def __init__(
+        self,
+        cta_id: int,
+        trace: CTATrace,
+        regs: int,
+        shared_mem: int,
+        shared_conflict_degree: int = 1,
+    ):
+        self.cta_id = cta_id
+        self.trace = trace
+        #: Register-file space (in registers) and shared memory (bytes)
+        #: this CTA holds until completion.
+        self.regs = regs
+        self.shared_mem = shared_mem
+        #: LDS/STS bank-serialization degree of the owning kernel.
+        self.shared_conflict_degree = shared_conflict_degree
+        self.warps: List[Warp] = []
+        self._at_barrier: Set[int] = set()
+        self.start_cycle: Optional[int] = None
+        self.finish_cycle: Optional[int] = None
+
+    # -- population (done by the SM during allocation) -----------------------
+
+    def add_warp(self, warp: Warp) -> None:
+        self.warps.append(warp)
+
+    @property
+    def num_warps(self) -> int:
+        return len(self.warps)
+
+    # -- completion -----------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return all(w.done for w in self.warps)
+
+    # -- barrier protocol -------------------------------------------------------
+
+    def arrive_at_barrier(self, warp: Warp) -> List[Warp]:
+        """Record ``warp`` at the barrier; return warps released (possibly all).
+
+        Returns an empty list while the barrier is still waiting.  Exited
+        warps count as arrived.
+        """
+        warp.set_state(WarpState.AT_BARRIER)
+        self._at_barrier.add(warp.warp_id)
+        return self._try_release()
+
+    def note_warp_exit(self, warp: Warp) -> List[Warp]:
+        """A warp exited; this may release a barrier the others wait at."""
+        return self._try_release()
+
+    def _try_release(self) -> List[Warp]:
+        blocked = [w for w in self.warps if w.state is WarpState.AT_BARRIER]
+        arrived_or_done = sum(
+            1 for w in self.warps if w.warp_id in self._at_barrier or w.done
+        )
+        if arrived_or_done < len(self.warps) or not blocked:
+            return []
+        self._at_barrier.clear()
+        for w in blocked:
+            w.set_state(WarpState.READY)
+            w.refresh_state()
+        return blocked

@@ -1,0 +1,133 @@
+"""Dynamic warp state.
+
+A :class:`Warp` wraps a :class:`~repro.trace.WarpTrace` with the execution
+state the sub-core needs: the trace cursor, the scoreboard of pending
+register writes, and the scheduling state (running / blocked on a hazard /
+waiting at a barrier / finished).  ``age`` is the warp's dispatch order on
+its scheduler — the GTO tie-break key.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Set, TYPE_CHECKING
+
+from ..isa import Instruction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .thread_block import ThreadBlock
+
+
+class WarpState(enum.Enum):
+    READY = "ready"            # next instruction can be considered for issue
+    BLOCKED = "blocked"        # scoreboard hazard on the next instruction
+    AT_BARRIER = "at_barrier"  # issued BAR, waiting for the CTA
+    MIGRATING = "migrating"    # register state in transit between sub-cores
+    FINISHED = "finished"      # issued EXIT
+
+#: States in which a warp still has instructions to run (it will become
+#: issuable again without outside help beyond scheduled events).
+RUNNABLE_STATES = frozenset({WarpState.READY, WarpState.BLOCKED, WarpState.MIGRATING})
+
+
+class Warp:
+    """One warp resident on a sub-core."""
+
+    __slots__ = (
+        "warp_id",
+        "cta",
+        "trace",
+        "subcore_id",
+        "age",
+        "pc",
+        "state",
+        "pending_writes",
+        "issued_instructions",
+        "finish_cycle",
+        "ready_pool",
+    )
+
+    def __init__(self, warp_id: int, cta: "ThreadBlock", trace, subcore_id: int, age: int):
+        self.warp_id = warp_id
+        self.cta = cta
+        self.trace = trace
+        self.subcore_id = subcore_id
+        self.age = age
+        self.pc = 0
+        self.state = WarpState.READY
+        #: Destination registers with an outstanding writeback.
+        self.pending_writes: Set[int] = set()
+        self.issued_instructions = 0
+        self.finish_cycle: Optional[int] = None
+        #: The owning sub-core's ready set (kept in sync by set_state).
+        self.ready_pool: Optional[set] = None
+
+    # -- trace cursor ------------------------------------------------------
+
+    @property
+    def next_instruction(self) -> Instruction:
+        return self.trace[self.pc]
+
+    @property
+    def done(self) -> bool:
+        return self.state is WarpState.FINISHED
+
+    # -- hazards -----------------------------------------------------------
+
+    def has_hazard(self, inst: Instruction) -> bool:
+        """RAW or WAW hazard between ``inst`` and outstanding writes.
+
+        EXIT additionally waits for the whole scoreboard to drain — a warp
+        cannot retire (and release its CTA's resources) with writebacks,
+        e.g. outstanding loads, still in flight.
+        """
+        pending = self.pending_writes
+        if not pending:
+            return False
+        if inst.opcode.is_exit:
+            return True
+        if inst.dst_reg is not None and inst.dst_reg in pending:
+            return True
+        return any(r in pending for r in inst.src_regs)
+
+    def set_state(self, state: WarpState) -> None:
+        """Transition state, keeping the sub-core's ready set in sync."""
+        self.state = state
+        pool = self.ready_pool
+        if pool is not None:
+            if state is WarpState.READY:
+                pool.add(self)
+            else:
+                pool.discard(self)
+
+    def refresh_state(self) -> None:
+        """Recompute READY/BLOCKED from the scoreboard (after a writeback)."""
+        if self.state not in (WarpState.READY, WarpState.BLOCKED):
+            return
+        hazard = self.has_hazard(self.next_instruction)
+        self.set_state(WarpState.BLOCKED if hazard else WarpState.READY)
+
+    # -- lifecycle hooks called by the sub-core ------------------------------
+
+    def note_issue(self, inst: Instruction) -> None:
+        """Advance past ``inst`` and mark its destination pending."""
+        self.issued_instructions += 1
+        if inst.dst_reg is not None:
+            self.pending_writes.add(inst.dst_reg)
+        self.pc += 1
+        if self.pc < len(self.trace):
+            self.refresh_state()
+
+    def complete_write(self, reg: int) -> None:
+        self.pending_writes.discard(reg)
+        self.refresh_state()
+
+    def finish(self, cycle: int) -> None:
+        self.set_state(WarpState.FINISHED)
+        self.finish_cycle = cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Warp(id={self.warp_id}, sc={self.subcore_id}, pc={self.pc}/"
+            f"{len(self.trace)}, {self.state.value})"
+        )

@@ -1,0 +1,190 @@
+"""Warp-scheduler policies.
+
+A scheduler selects, each cycle, which ready warp's next instruction to
+issue into a free collector unit.  Policies:
+
+``LRRScheduler``
+    Loose round-robin: rotate through warp slots from the last issued.
+``GTOScheduler``
+    Greedy-then-oldest (the paper's baseline): keep issuing the same warp
+    until it stalls, then fall back to the oldest ready warp.
+``RBAScheduler``
+    Register-bank-aware (Sec. IV-A): order ready warps by the key
+    ``(RBA score, age)`` — the score is the summed arbitration-queue length
+    over the banks of the instruction's source operands, so the scheduler
+    steers issue toward under-used banks.  Ties go to the older warp,
+    preserving GTO order among equal scores.
+``BankStealingScheduler``
+    The comparison point from Jing et al. [36]: GTO issue order, plus an
+    opportunistic *steal* pass that pre-issues a warp whose operands sit in
+    currently-idle banks when a collector unit would otherwise sit free.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..config import GPUConfig, SchedulerPolicy
+from .arbitration import ArbitrationUnit
+from .register_file import RegisterFile
+from .warp import Warp
+
+
+class WarpScheduler:
+    """Base policy; subclasses override :meth:`select`."""
+
+    name = "base"
+    #: Whether the sub-core should run the post-issue bank-stealing pass.
+    steals_banks = False
+
+    def __init__(self, arbitration: ArbitrationUnit, register_file: RegisterFile):
+        self.arbitration = arbitration
+        self.register_file = register_file
+        self.last_issued: Optional[Warp] = None
+
+    def select(self, candidates: Sequence[Warp], now: int) -> Optional[Warp]:
+        raise NotImplementedError
+
+    def note_issue(self, warp: Warp) -> None:
+        self.last_issued = warp
+
+    def note_warp_removed(self, warp: Warp) -> None:
+        if self.last_issued is warp:
+            self.last_issued = None
+
+    # Bank stealing hook; only the BankStealingScheduler implements it.
+    def steal_candidate(
+        self, candidates: Sequence[Warp], now: int
+    ) -> Optional[Warp]:
+        return None
+
+
+class LRRScheduler(WarpScheduler):
+    name = "lrr"
+
+    def select(self, candidates: Sequence[Warp], now: int) -> Optional[Warp]:
+        if not candidates:
+            return None
+        if self.last_issued is None:
+            return min(candidates, key=lambda w: w.age)
+        pivot = self.last_issued.age
+        # First warp strictly after the pivot in age order, wrapping around.
+        ordered = sorted(candidates, key=lambda w: w.age)
+        for w in ordered:
+            if w.age > pivot:
+                return w
+        return ordered[0]
+
+
+class GTOScheduler(WarpScheduler):
+    name = "gto"
+
+    def select(self, candidates: Sequence[Warp], now: int) -> Optional[Warp]:
+        if not candidates:
+            return None
+        last = self.last_issued
+        if last is not None and last in candidates:
+            return last
+        return min(candidates, key=lambda w: w.age)
+
+
+class RBAScheduler(WarpScheduler):
+    name = "rba"
+
+    def select(self, candidates: Sequence[Warp], now: int) -> Optional[Warp]:
+        if not candidates:
+            return None
+        lengths = self.arbitration.queue_lengths(now)
+        rf = self.register_file
+        best = None
+        best_key = None
+        for w in candidates:
+            inst = w.next_instruction
+            score = 0
+            for reg in inst.src_regs:
+                score += lengths[rf.bank_of(reg, w.warp_id)]
+            key = (score, w.age)
+            if best_key is None or key < best_key:
+                best, best_key = w, key
+        return best
+
+
+class BankStealingScheduler(GTOScheduler):
+    name = "bank_stealing"
+    steals_banks = True
+
+    def steal_candidate(
+        self, candidates: Sequence[Warp], now: int
+    ) -> Optional[Warp]:
+        """A ready warp whose next instruction only needs idle banks.
+
+        Called after normal issue when a CU is still free.  With Volta's two
+        CUs per sub-core such a free CU is rare, which is exactly why the
+        paper measures < 1 % benefit from this design.
+        """
+        arb = self.arbitration
+        rf = self.register_file
+        for w in sorted(candidates, key=lambda c: c.age):
+            banks = rf.src_banks(w.next_instruction, w.warp_id)
+            if banks and all(arb.bank_idle(b) for b in set(banks)):
+                return w
+        return None
+
+
+class TwoLevelScheduler(WarpScheduler):
+    """Two-level warp scheduling (Narasiman et al. [49]).
+
+    Warps are partitioned into fetch groups of ``group_size``; the
+    scheduler round-robins *within* the active group and only moves to the
+    next group when no warp of the active group is ready.  Staggering the
+    groups de-correlates long-latency stalls — a classic latency-hiding
+    baseline, included here as an additional comparison point for RBA.
+    """
+
+    name = "two_level"
+
+    def __init__(
+        self,
+        arbitration: ArbitrationUnit,
+        register_file: RegisterFile,
+        group_size: int = 8,
+    ):
+        super().__init__(arbitration, register_file)
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        self.group_size = group_size
+        self.active_group = 0
+
+    def _group(self, warp: Warp) -> int:
+        return warp.age // self.group_size
+
+    def select(self, candidates: Sequence[Warp], now: int) -> Optional[Warp]:
+        if not candidates:
+            return None
+        in_group = [w for w in candidates if self._group(w) == self.active_group]
+        if not in_group:
+            # Active group fully stalled: switch to the lowest group that
+            # has a ready warp.
+            self.active_group = min(self._group(w) for w in candidates)
+            in_group = [w for w in candidates if self._group(w) == self.active_group]
+        # LRR within the group.
+        if self.last_issued is not None and self._group(self.last_issued) == self.active_group:
+            pivot = self.last_issued.age
+            after = [w for w in in_group if w.age > pivot]
+            if after:
+                return min(after, key=lambda w: w.age)
+        return min(in_group, key=lambda w: w.age)
+
+
+def make_scheduler(
+    config: GPUConfig, arbitration: ArbitrationUnit, register_file: RegisterFile
+) -> WarpScheduler:
+    """Instantiate the scheduler named by ``config.scheduler``."""
+    classes = {
+        SchedulerPolicy.LRR: LRRScheduler,
+        SchedulerPolicy.GTO: GTOScheduler,
+        SchedulerPolicy.RBA: RBAScheduler,
+        SchedulerPolicy.BANK_STEALING: BankStealingScheduler,
+        SchedulerPolicy.TWO_LEVEL: TwoLevelScheduler,
+    }
+    return classes[config.scheduler](arbitration, register_file)

@@ -1,0 +1,76 @@
+"""ASCII reporting helpers shared by the figure harnesses."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+
+def fmt_speedup(x: float) -> str:
+    """1.112 -> '+11.2%'."""
+    return f"{(x - 1.0) * 100.0:+.1f}%"
+
+
+def speedup_table(
+    title: str,
+    rows: Sequence[Tuple[str, Mapping[str, float]]],
+    designs: Sequence[str] | None = None,
+    summary: str = "mean",
+) -> str:
+    """Render per-app speedup rows plus a summary line.
+
+    ``summary`` is ``"mean"`` (arithmetic, the paper's default for average
+    speedups) or ``"geomean"``.
+    """
+    if not rows:
+        return f"{title}\n(no rows)"
+    if designs is None:
+        designs = list(rows[0][1].keys())
+    name_w = max(len(r[0]) for r in rows)
+    name_w = max(name_w, len("average"))
+    col_w = max(8, max(len(d) for d in designs) + 1)
+
+    lines = [title, "-" * len(title)]
+    header = " " * name_w + "".join(f"{d:>{col_w}}" for d in designs)
+    lines.append(header)
+    for app, vals in rows:
+        cells = "".join(f"{fmt_speedup(vals[d]):>{col_w}}" for d in designs)
+        lines.append(f"{app:<{name_w}}{cells}")
+
+    agg_cells = []
+    for d in designs:
+        vals = np.asarray([r[1][d] for r in rows], dtype=float)
+        agg = float(np.exp(np.log(vals).mean())) if summary == "geomean" else float(vals.mean())
+        agg_cells.append(f"{fmt_speedup(agg):>{col_w}}")
+    lines.append(f"{summary and 'average':<{name_w}}" + "".join(agg_cells))
+    return "\n".join(lines)
+
+
+def series_table(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: Mapping[str, Sequence[float]],
+    fmt: str = "{:.3f}",
+) -> str:
+    """Render an x-vs-series table (the 'figure as rows' format)."""
+    names = list(series)
+    x_w = max(len(x_label), max(len(str(x)) for x in xs)) + 1
+    col_w = max(9, max(len(n) for n in names) + 1)
+    lines = [title, "-" * len(title)]
+    lines.append(f"{x_label:<{x_w}}" + "".join(f"{n:>{col_w}}" for n in names))
+    for i, x in enumerate(xs):
+        cells = "".join(f"{fmt.format(series[n][i]):>{col_w}}" for n in names)
+        lines.append(f"{str(x):<{x_w}}" + cells)
+    return "\n".join(lines)
+
+
+def average_speedups(
+    rows: Sequence[Tuple[str, Mapping[str, float]]], designs: Iterable[str]
+) -> Dict[str, float]:
+    """Arithmetic-mean speedup per design over the rows."""
+    out: Dict[str, float] = {}
+    for d in designs:
+        out[d] = float(np.mean([r[1][d] for r in rows]))
+    return out

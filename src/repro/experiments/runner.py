@@ -1,0 +1,86 @@
+"""Experiment runner with per-process result caching.
+
+Figures share design points (the Fig. 1 baseline runs are the Fig. 9/10
+denominators), so the runner memoizes ``(app, design, num_sms)`` →
+:class:`~repro.metrics.SimStats` for the life of the process.  Simulation
+is fully deterministic, so caching is loss-free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..gpu import simulate
+from ..metrics import SimStats
+from ..trace import KernelTrace
+from ..workloads import get_kernel
+from .designs import get_design
+
+_CACHE: Dict[Tuple[str, str, int, bool], SimStats] = {}
+
+
+def clear_cache() -> None:
+    _CACHE.clear()
+
+
+def cache_size() -> int:
+    return len(_CACHE)
+
+
+def run_app(
+    app: str,
+    design: str = "baseline",
+    num_sms: int = 1,
+    collect_timeline: bool = False,
+) -> SimStats:
+    """Simulate one registered application under one named design."""
+    key = (app, design, num_sms, collect_timeline)
+    hit = _CACHE.get(key)
+    if hit is not None:
+        return hit
+    stats = simulate(
+        get_kernel(app),
+        get_design(design),
+        num_sms=num_sms,
+        collect_timeline=collect_timeline,
+    )
+    _CACHE[key] = stats
+    return stats
+
+
+def run_kernel(
+    kernel: KernelTrace,
+    design: str = "baseline",
+    num_sms: int = 1,
+    collect_timeline: bool = False,
+) -> SimStats:
+    """Simulate an ad-hoc kernel (microbenchmarks) — not cached."""
+    return simulate(
+        kernel,
+        get_design(design),
+        num_sms=num_sms,
+        collect_timeline=collect_timeline,
+    )
+
+
+def speedups_over_baseline(
+    apps: Iterable[str],
+    designs: Iterable[str],
+    num_sms: int = 1,
+    baseline: str = "baseline",
+) -> List[Tuple[str, Dict[str, float]]]:
+    """Rows of ``(app, {design: speedup})`` over the shared baseline."""
+    designs = list(designs)
+    rows: List[Tuple[str, Dict[str, float]]] = []
+    for app in apps:
+        base = run_app(app, baseline, num_sms=num_sms)
+        rows.append(
+            (
+                app,
+                {
+                    d: base.cycles / run_app(app, d, num_sms=num_sms).cycles
+                    for d in designs
+                },
+            )
+        )
+    return rows

@@ -1,0 +1,7 @@
+"""Top-level GPU model: SM array, thread-block scheduler, cycle loop."""
+
+from .gpu import GPU, DeadlockError, simulate
+from .kernel import KernelLaunch
+from .tb_scheduler import ThreadBlockScheduler
+
+__all__ = ["GPU", "DeadlockError", "simulate", "KernelLaunch", "ThreadBlockScheduler"]

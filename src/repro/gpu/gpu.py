@@ -1,0 +1,202 @@
+"""The top-level GPU: SM array, shared L2/DRAM, and the cycle loop.
+
+``GPU.run(kernel)`` simulates a kernel to completion and returns a
+:class:`~repro.metrics.SimStats`.  The loop steps every non-idle SM in
+lockstep but fast-forwards over stretches where no SM can make progress
+(all sub-cores quiescent, waiting only on scheduled writeback events) —
+this is what keeps long memory stalls cheap in a Python simulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..config import GPUConfig, volta_v100
+from ..core import StreamingMultiprocessor
+from ..memory import MemorySubsystem, build_dram, build_l2
+from ..metrics import SimStats, SMStats
+from ..trace import KernelTrace
+from .kernel import KernelLaunch
+from .tb_scheduler import ThreadBlockScheduler
+
+
+class DeadlockError(RuntimeError):
+    """Raised when resident work can make no further progress."""
+
+
+class GPU:
+    """A simulated GPU built from a :class:`~repro.config.GPUConfig`."""
+
+    def __init__(
+        self,
+        config: Optional[GPUConfig] = None,
+        num_sms: Optional[int] = None,
+        collect_timeline: bool = False,
+    ):
+        self.config = config if config is not None else volta_v100()
+        if num_sms is not None:
+            self.config = self.config.replace(num_sms=num_sms)
+        if self.config.num_sms < 1:
+            raise ValueError("num_sms must be >= 1")
+
+        self.l2 = build_l2(self.config.memory)
+        self.dram = build_dram(self.config.memory)
+        self.sms: List[StreamingMultiprocessor] = [
+            StreamingMultiprocessor(
+                sm_id=i,
+                config=self.config,
+                memory=MemorySubsystem(self.config, l2=self.l2, dram=self.dram),
+                collect_timeline=collect_timeline,
+            )
+            for i in range(self.config.num_sms)
+        ]
+        self.tb_scheduler = ThreadBlockScheduler(self.sms)
+        self.now = 0
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        kernel: KernelTrace | KernelLaunch,
+        max_cycles: int = 50_000_000,
+    ) -> SimStats:
+        """Simulate ``kernel`` to completion."""
+        launch = kernel if isinstance(kernel, KernelLaunch) else KernelLaunch(kernel)
+        sms = self.sms
+        if launch.max_sms:
+            sms = sms[: launch.max_sms]
+        scheduler = ThreadBlockScheduler(sms)
+        scheduler.launch(launch.trace)
+        return self._run(scheduler, sms, launch.trace, launch.name, max_cycles)
+
+    def run_concurrent(
+        self,
+        kernels: List[KernelTrace],
+        max_cycles: int = 50_000_000,
+    ) -> SimStats:
+        """Simulate several kernels executing concurrently.
+
+        The thread-block scheduler interleaves the kernels' CTA queues, so
+        CTAs with different register/shared-memory footprints co-reside on
+        the same SMs — the concurrent-kernel scenario behind the paper's
+        fourth partitioning effect.
+        """
+        if not kernels:
+            raise ValueError("need at least one kernel")
+        scheduler = ThreadBlockScheduler(self.sms)
+        scheduler.launch_many(kernels)
+        name = "+".join(k.name for k in kernels)
+        return self._run(scheduler, self.sms, kernels[0], name, max_cycles)
+
+    def _run(
+        self,
+        scheduler: ThreadBlockScheduler,
+        sms: List[StreamingMultiprocessor],
+        trace: KernelTrace,
+        name: str,
+        max_cycles: int,
+    ) -> SimStats:
+        start = self.now
+        now = self.now
+        scheduler.fill(now)
+        active = [sm for sm in sms if not sm.idle]
+
+        while active or not scheduler.done:
+            if now - start > max_cycles:
+                raise DeadlockError(
+                    f"kernel {name!r} exceeded {max_cycles} cycles"
+                )
+            for sm in active:
+                sm.step(now)
+
+            freed = False
+            for sm in active:
+                if sm.resources_freed:
+                    sm.resources_freed = False
+                    freed = True
+            if freed and not scheduler.done:
+                scheduler.fill(now)
+
+            active = [sm for sm in sms if not sm.idle]
+            if not active:
+                if scheduler.done:
+                    break
+                raise DeadlockError(
+                    f"kernel {name!r}: {scheduler.pending_ctas} CTAs "
+                    "pending but no SM can accept them"
+                )
+
+            now = self._advance(active, now, name)
+
+        self.now = now + 1
+        return self._collect_stats(trace, sms, self.now - start, name)
+
+    def _advance(self, active: List[StreamingMultiprocessor], now: int, name: str) -> int:
+        """Next cycle to simulate: ``now + 1`` or a fast-forward jump."""
+        horizon = None
+        for sm in active:
+            nxt = sm.next_event(now)
+            if nxt is None:
+                raise DeadlockError(
+                    f"kernel {name!r}: SM {sm.sm_id} has resident CTAs but no "
+                    "pending events (barrier or scoreboard deadlock)"
+                )
+            if horizon is None or nxt < horizon:
+                horizon = nxt
+                if horizon == now + 1:
+                    break
+        assert horizon is not None
+        return max(horizon, now + 1)
+
+    # -- results -----------------------------------------------------------
+
+    def _collect_stats(
+        self,
+        trace: KernelTrace,
+        sms: List[StreamingMultiprocessor],
+        cycles: int,
+        name: str | None = None,
+    ) -> SimStats:
+        sm_stats = [
+            SMStats(
+                sm_id=sm.sm_id,
+                instructions=sm.total_instructions,
+                issue_counts=sm.issue_counts(),
+                rf_reads=sm.total_rf_reads(),
+                bank_conflict_cycles=sm.total_bank_conflict_cycles(),
+                ctas_completed=sm.ctas_completed,
+                issue_stall_no_cu=sum(sc.issue_stall_no_cu for sc in sm.subcores),
+                issue_stall_no_ready=sum(sc.issue_stall_no_ready for sc in sm.subcores),
+                steals=sum(sc.steals for sc in sm.subcores),
+                migrations=sm.migrations,
+                rf_read_timeline=sm.rf_read_timeline,
+                warp_finish_cycles=list(sm.warp_finish_cycles),
+                cta_latencies=list(sm.cta_latencies),
+            )
+            for sm in sms
+        ]
+        l1_hits = sum(sm.memory.l1.stats.hits for sm in sms)
+        l1_misses = sum(sm.memory.l1.stats.misses for sm in sms)
+        return SimStats(
+            kernel_name=name if name is not None else trace.name,
+            config_name=self.config.name,
+            cycles=cycles,
+            instructions=sum(s.instructions for s in sm_stats),
+            sms=sm_stats,
+            l1_hits=l1_hits,
+            l1_misses=l1_misses,
+            l2_hits=self.l2.stats.hits,
+            l2_misses=self.l2.stats.misses,
+            dram_accesses=self.dram.stats.accesses,
+        )
+
+
+def simulate(
+    kernel: KernelTrace,
+    config: Optional[GPUConfig] = None,
+    num_sms: Optional[int] = None,
+    collect_timeline: bool = False,
+) -> SimStats:
+    """One-shot convenience wrapper: build a GPU, run ``kernel``, return stats."""
+    gpu = GPU(config=config, num_sms=num_sms, collect_timeline=collect_timeline)
+    return gpu.run(kernel)

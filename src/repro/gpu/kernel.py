@@ -1,0 +1,23 @@
+"""Kernel launch descriptor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trace import KernelTrace
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """A kernel trace queued for execution.
+
+    ``max_sms`` optionally restricts the launch to the first N SMs —
+    the knob the paper uses to run TPC-H on 20 of the V100's 80 SMs.
+    """
+
+    trace: KernelTrace
+    max_sms: int = 0  # 0 = all SMs
+
+    @property
+    def name(self) -> str:
+        return self.trace.name

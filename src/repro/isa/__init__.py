@@ -1,0 +1,20 @@
+"""Simplified SASS-like instruction set used by warp traces."""
+
+from .instruction import Instruction, MemRef, bar, exit_, fadd, ffma, iadd, ldg, stg
+from .opcodes import MAX_SRC_OPERANDS, FuncUnit, Opcode, OpcodeInfo
+
+__all__ = [
+    "Instruction",
+    "MemRef",
+    "FuncUnit",
+    "Opcode",
+    "OpcodeInfo",
+    "MAX_SRC_OPERANDS",
+    "bar",
+    "exit_",
+    "fadd",
+    "ffma",
+    "iadd",
+    "ldg",
+    "stg",
+]

@@ -1,0 +1,114 @@
+"""Opcode definitions for the simulator's simplified SASS-like ISA.
+
+Every opcode belongs to a functional-unit class (:class:`FuncUnit`), which
+determines the execution pipeline it dispatches to, and carries a
+``latency`` (cycles from dispatch to writeback) and ``initiation_interval``
+(cycles the pipeline's issue port stays busy per instruction).  Latencies
+follow the Volta microbenchmarking literature (Jia et al. 2018) at the
+granularity the simulator needs: dependent-issue latency, not full pipeline
+depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class FuncUnit(Enum):
+    """Functional-unit classes found in a Volta sub-core."""
+
+    FP32 = "fp32"
+    INT = "int"
+    SFU = "sfu"
+    TENSOR = "tensor"
+    LDST = "ldst"
+    BRANCH = "branch"
+    SYNC = "sync"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static properties of one opcode."""
+
+    name: str
+    unit: FuncUnit
+    latency: int
+    initiation_interval: int = 1
+    is_memory: bool = False
+    is_barrier: bool = False
+    is_exit: bool = False
+
+
+class Opcode(Enum):
+    """The simulator ISA.
+
+    The value of each member is its :class:`OpcodeInfo`.  Warp traces are
+    sequences of :class:`~repro.isa.instruction.Instruction` objects over
+    these opcodes.
+    """
+
+    # arithmetic
+    FADD = OpcodeInfo("FADD", FuncUnit.FP32, 4)
+    FMUL = OpcodeInfo("FMUL", FuncUnit.FP32, 4)
+    FFMA = OpcodeInfo("FFMA", FuncUnit.FP32, 4)
+    IADD = OpcodeInfo("IADD", FuncUnit.INT, 4)
+    IMAD = OpcodeInfo("IMAD", FuncUnit.INT, 5)
+    ISETP = OpcodeInfo("ISETP", FuncUnit.INT, 5)
+    LOP3 = OpcodeInfo("LOP3", FuncUnit.INT, 4)
+    SHF = OpcodeInfo("SHF", FuncUnit.INT, 4)
+    # transcendental — throughput comes from the SFU's narrow lane count
+    # (ceil(32/lanes) in the pipeline model), not the opcode interval.
+    MUFU = OpcodeInfo("MUFU", FuncUnit.SFU, 16)
+    # tensor core — same: an 8-lane tensor unit yields a 4-cycle interval.
+    HMMA = OpcodeInfo("HMMA", FuncUnit.TENSOR, 16)
+    # memory
+    LDG = OpcodeInfo("LDG", FuncUnit.LDST, 0, is_memory=True)
+    STG = OpcodeInfo("STG", FuncUnit.LDST, 0, is_memory=True)
+    LDS = OpcodeInfo("LDS", FuncUnit.LDST, 24, is_memory=True)
+    STS = OpcodeInfo("STS", FuncUnit.LDST, 24, is_memory=True)
+    # control
+    BRA = OpcodeInfo("BRA", FuncUnit.BRANCH, 2)
+    BAR = OpcodeInfo("BAR", FuncUnit.SYNC, 1, is_barrier=True)
+    EXIT = OpcodeInfo("EXIT", FuncUnit.SYNC, 1, is_exit=True)
+    NOP = OpcodeInfo("NOP", FuncUnit.INT, 1)
+
+    @property
+    def info(self) -> OpcodeInfo:
+        return self.value
+
+    @property
+    def unit(self) -> FuncUnit:
+        return self.value.unit
+
+    @property
+    def latency(self) -> int:
+        return self.value.latency
+
+    @property
+    def initiation_interval(self) -> int:
+        return self.value.initiation_interval
+
+    @property
+    def is_memory(self) -> bool:
+        return self.value.is_memory
+
+    @property
+    def is_barrier(self) -> bool:
+        return self.value.is_barrier
+
+    @property
+    def is_exit(self) -> bool:
+        return self.value.is_exit
+
+    @property
+    def is_global_memory(self) -> bool:
+        return self in (Opcode.LDG, Opcode.STG)
+
+    @property
+    def is_shared_memory(self) -> bool:
+        return self in (Opcode.LDS, Opcode.STS)
+
+
+#: Maximum source operands any instruction may carry (FFMA/IMAD/HMMA take 3).
+MAX_SRC_OPERANDS = 3

@@ -1,0 +1,30 @@
+"""Per-warp memory access coalescing.
+
+Traces record the coalescing *outcome* of each warp memory instruction
+(``MemRef.num_lines``); the coalescer expands that into the individual line
+transactions the caches see.  Consecutive lines starting at the base address
+model a strided/unit-stride pattern; this is all the cache model needs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..isa import MemRef
+from .request import MemoryRequest
+
+
+class Coalescer:
+    """Expands a warp memory reference into per-line transactions."""
+
+    def __init__(self, line_bytes: int) -> None:
+        if line_bytes <= 0 or line_bytes & (line_bytes - 1):
+            raise ValueError("line_bytes must be a positive power of two")
+        self.line_bytes = line_bytes
+
+    def expand(self, mem: MemRef) -> List[MemoryRequest]:
+        base_line = mem.base_address // self.line_bytes
+        return [
+            MemoryRequest(line_address=base_line + i, is_store=mem.is_store)
+            for i in range(mem.num_lines)
+        ]

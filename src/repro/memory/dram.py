@@ -1,0 +1,62 @@
+"""Bandwidth-limited fixed-latency HBM model.
+
+DRAM is modelled as ``num_channels`` independently scheduled channels with
+a base access latency and a per-channel service rate of
+``bytes_per_cycle``; each line transaction occupies its channel for
+``line_bytes / bytes_per_cycle`` cycles.  Lines interleave across channels
+by address (the standard HBM mapping), so sequential streams spread load.
+The returned completion time is ``max(now, channel_free) + service +
+latency`` — a classic M/D/1-style back-of-envelope that reproduces
+bandwidth saturation without a full DRAM timing model (the paper's effects
+live in the SM, not DRAM).
+
+The default of one channel matches the paper-reproduction configuration;
+``MemoryConfig.dram_channels`` scales aggregate bandwidth for larger
+multi-SM studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DRAMStats:
+    accesses: int = 0
+    busy_cycles: int = 0
+
+
+class DRAM:
+    def __init__(
+        self,
+        latency: int,
+        bytes_per_cycle: int,
+        line_bytes: int,
+        num_channels: int = 1,
+    ) -> None:
+        if latency < 0:
+            raise ValueError("latency must be >= 0")
+        if bytes_per_cycle <= 0:
+            raise ValueError("bytes_per_cycle must be > 0")
+        if num_channels < 1:
+            raise ValueError("num_channels must be >= 1")
+        self.latency = latency
+        self.service_cycles = max(1, line_bytes // bytes_per_cycle)
+        self.num_channels = num_channels
+        self.stats = DRAMStats()
+        self._channel_free = [0] * num_channels
+
+    def access(self, now: int, line_address: int = 0) -> int:
+        """Issue one line transaction; returns its completion cycle."""
+        channel = line_address % self.num_channels
+        start = max(now, self._channel_free[channel])
+        self._channel_free[channel] = start + self.service_cycles
+        self.stats.accesses += 1
+        self.stats.busy_cycles += self.service_cycles
+        return start + self.service_cycles + self.latency
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Aggregate channel utilization over ``elapsed_cycles``."""
+        if elapsed_cycles <= 0:
+            return 0.0
+        return self.stats.busy_cycles / (elapsed_cycles * self.num_channels)

@@ -1,0 +1,32 @@
+"""Memory request records exchanged between pipeline and memory hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One coalesced memory transaction (one cache line) from a warp."""
+
+    line_address: int
+    is_store: bool = False
+
+    def __post_init__(self) -> None:
+        if self.line_address < 0:
+            raise ValueError("line_address must be non-negative")
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of sending a warp's transactions into the hierarchy."""
+
+    completion_cycle: int
+    l1_hits: int
+    l1_misses: int
+    l2_hits: int
+    l2_misses: int
+
+    @property
+    def transactions(self) -> int:
+        return self.l1_hits + self.l1_misses

@@ -1,0 +1,41 @@
+"""Banked shared-memory (scratchpad) timing model.
+
+Shared memory is common to all sub-cores of an SM — it is *why* thread
+blocks cannot be split across sub-cores, which drives the imbalance
+pathology.  The timing model charges a fixed pipeline latency plus a
+serialization term for bank conflicts: a warp access touching ``d`` distinct
+words in the same bank takes ``d`` back-to-back bank cycles.
+
+Traces do not carry per-thread shared addresses, so the conflict degree is a
+property of the instruction stream: LDS/STS instructions are assumed
+conflict-free (degree 1) unless the workload profile marks the kernel with a
+higher ``shared_conflict_degree``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SharedMemoryStats:
+    accesses: int = 0
+    conflict_cycles: int = 0
+
+
+class SharedMemory:
+    def __init__(self, num_banks: int, latency: int = 24) -> None:
+        if num_banks < 1:
+            raise ValueError("num_banks must be >= 1")
+        self.num_banks = num_banks
+        self.latency = latency
+        self.stats = SharedMemoryStats()
+
+    def access(self, now: int, conflict_degree: int = 1) -> int:
+        """One warp LDS/STS; returns the completion cycle."""
+        if conflict_degree < 1:
+            raise ValueError("conflict_degree must be >= 1")
+        degree = min(conflict_degree, self.num_banks)
+        self.stats.accesses += 1
+        self.stats.conflict_cycles += degree - 1
+        return now + self.latency + (degree - 1)

@@ -1,0 +1,134 @@
+"""Per-SM memory subsystem: coalescer → L1 → L2 → DRAM, plus shared memory.
+
+Each SM owns an L1 slice and a shared-memory scratchpad; the L2 and DRAM are
+chip-level and shared by all SMs (pass the same instances to every
+subsystem).  The subsystem converts a warp memory instruction into a single
+completion cycle, which the LDST execution unit uses as the writeback time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import GPUConfig, MemoryConfig
+from ..isa import Instruction, MemRef
+from .cache import Cache
+from .coalescer import Coalescer
+from .dram import DRAM
+from .request import AccessResult
+from .shared_memory import SharedMemory
+
+
+def build_l2(mem: MemoryConfig) -> Cache:
+    """The chip-level L2; share one instance across all SM subsystems."""
+    return Cache(
+        size_bytes=mem.l2_size_bytes,
+        line_bytes=mem.l2_line_bytes,
+        ways=mem.l2_ways,
+        hit_latency=mem.l2_hit_latency,
+        mshrs=mem.l2_mshrs,
+        name="L2",
+    )
+
+
+def build_dram(mem: MemoryConfig) -> DRAM:
+    return DRAM(
+        latency=mem.dram_latency,
+        bytes_per_cycle=mem.dram_bytes_per_cycle,
+        line_bytes=mem.l2_line_bytes,
+        num_channels=mem.dram_channels,
+    )
+
+
+class MemorySubsystem:
+    """The memory path attached to one SM."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        l2: Optional[Cache] = None,
+        dram: Optional[DRAM] = None,
+    ) -> None:
+        mem = config.memory
+        self.config = config
+        self.coalescer = Coalescer(mem.l1_line_bytes)
+        self.l1 = Cache(
+            size_bytes=mem.l1_size_bytes,
+            line_bytes=mem.l1_line_bytes,
+            ways=mem.l1_ways,
+            hit_latency=mem.l1_hit_latency,
+            mshrs=mem.l1_mshrs,
+            name="L1",
+        )
+        self.l2 = l2 if l2 is not None else build_l2(mem)
+        self.dram = dram if dram is not None else build_dram(mem)
+        self.shared = SharedMemory(mem.shared_mem_banks)
+        #: L1←L2 ingest throughput: line transactions accepted per cycle.
+        self._l1_port_free = 0
+
+    # -- global memory ---------------------------------------------------------
+
+    def access_global(self, mem: MemRef, now: int) -> AccessResult:
+        """Send one warp's coalesced global transactions into the hierarchy."""
+        requests = self.coalescer.expand(mem)
+        l1_hits = l1_misses = l2_hits = l2_misses = 0
+        completion = now
+        for i, req in enumerate(requests):
+            # One L1 tag port: back-to-back transactions of the same warp
+            # instruction serialize one per cycle.
+            t_issue = max(now + i, self._l1_port_free)
+            self._l1_port_free = t_issue + 1
+            hit, inflight = self.l1.probe(req.line_address, t_issue)
+            if hit:
+                self.l1.record_hit()
+                l1_hits += 1
+                t_done = t_issue + self.l1.hit_latency
+            elif inflight is not None:
+                self.l1.record_merge()
+                l1_misses += 1
+                t_done = max(inflight, t_issue + self.l1.hit_latency)
+            else:
+                l1_misses += 1
+                t_done, was_l2_hit = self._access_l2(req.line_address, t_issue)
+                if was_l2_hit:
+                    l2_hits += 1
+                else:
+                    l2_misses += 1
+                self.l1.allocate_miss(req.line_address, t_done)
+            completion = max(completion, t_done)
+        return AccessResult(
+            completion_cycle=completion,
+            l1_hits=l1_hits,
+            l1_misses=l1_misses,
+            l2_hits=l2_hits,
+            l2_misses=l2_misses,
+        )
+
+    def _access_l2(self, line_address: int, now: int) -> tuple[int, bool]:
+        t_at_l2 = now + self.l1.hit_latency  # L1 miss detection + NoC hop
+        hit, inflight = self.l2.probe(line_address, t_at_l2)
+        if hit:
+            self.l2.record_hit()
+            return t_at_l2 + self.l2.hit_latency, True
+        if inflight is not None:
+            self.l2.record_merge()
+            return max(inflight, t_at_l2 + self.l2.hit_latency), False
+        t_done = self.dram.access(t_at_l2, line_address) + self.l2.hit_latency
+        self.l2.allocate_miss(line_address, t_done)
+        return t_done, False
+
+    # -- shared memory -----------------------------------------------------------
+
+    def access_shared(self, now: int, conflict_degree: int = 1) -> int:
+        return self.shared.access(now, conflict_degree)
+
+    # -- instruction-level entry point --------------------------------------------
+
+    def access(self, inst: Instruction, now: int, shared_conflict_degree: int = 1) -> int:
+        """Completion cycle for a memory instruction's data."""
+        if inst.opcode.is_global_memory:
+            assert inst.mem is not None
+            return self.access_global(inst.mem, now).completion_cycle
+        if inst.opcode.is_shared_memory:
+            return self.access_shared(now, shared_conflict_degree)
+        raise ValueError(f"{inst.opcode.name} is not a memory instruction")

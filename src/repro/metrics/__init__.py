@@ -1,0 +1,31 @@
+"""Run statistics and cross-design analysis helpers."""
+
+from .analysis import (
+    coefficient_of_variation,
+    geomean,
+    mean,
+    mean_absolute_error,
+    percent_speedup,
+    speedup,
+    speedup_table,
+)
+from .bounds import IPCBounds, bound_report, ipc_bounds
+from .profile_report import compare_report, profile_report
+from .stats import SimStats, SMStats
+
+__all__ = [
+    "coefficient_of_variation",
+    "geomean",
+    "mean",
+    "mean_absolute_error",
+    "percent_speedup",
+    "speedup",
+    "speedup_table",
+    "SimStats",
+    "SMStats",
+    "compare_report",
+    "profile_report",
+    "IPCBounds",
+    "bound_report",
+    "ipc_bounds",
+]

@@ -1,0 +1,88 @@
+"""Simulation statistics assembled after a kernel run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class SMStats:
+    """Per-SM counters snapshotted at the end of a run."""
+
+    sm_id: int
+    instructions: int
+    issue_counts: List[int]
+    rf_reads: int
+    bank_conflict_cycles: int
+    ctas_completed: int
+    issue_stall_no_cu: int
+    issue_stall_no_ready: int
+    steals: int
+    migrations: int = 0
+    rf_read_timeline: Optional[List[Tuple[int, int]]] = None
+    warp_finish_cycles: List[int] = field(default_factory=list)
+    cta_latencies: List[int] = field(default_factory=list)
+
+    def issue_cov(self) -> float:
+        """Coefficient of variation of per-sub-core issued instructions.
+
+        The Fig. 17 balance metric: ``sigma / mu`` over the four schedulers'
+        issue totals; 0 means perfectly balanced.
+        """
+        counts = np.asarray(self.issue_counts, dtype=float)
+        mu = counts.mean()
+        if mu == 0:
+            return 0.0
+        return float(counts.std() / mu)
+
+
+@dataclass
+class SimStats:
+    """Whole-run results of :meth:`repro.gpu.GPU.run`."""
+
+    kernel_name: str
+    config_name: str
+    cycles: int
+    instructions: int
+    sms: List[SMStats]
+
+    l1_hits: int = 0
+    l1_misses: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    dram_accesses: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def issue_cov(self) -> float:
+        """Mean per-SM issue CoV over SMs that issued anything."""
+        covs = [sm.issue_cov() for sm in self.sms if sm.instructions]
+        return float(np.mean(covs)) if covs else 0.0
+
+    def total_rf_reads(self) -> int:
+        return sum(sm.rf_reads for sm in self.sms)
+
+    def rf_reads_per_cycle(self) -> float:
+        """Average warp-operand reads per cycle per SM.
+
+        Multiply by 32 to get the paper's Fig. 14 unit (4-byte reads per
+        cycle, max 256 for 8 banks x 32 lanes).
+        """
+        if not self.cycles or not self.sms:
+            return 0.0
+        return self.total_rf_reads() / self.cycles / len(self.sms)
+
+    def bank_conflict_cycles(self) -> int:
+        return sum(sm.bank_conflict_cycles for sm in self.sms)
+
+    def summary(self) -> str:
+        return (
+            f"{self.kernel_name} on {self.config_name}: {self.cycles} cycles, "
+            f"{self.instructions} instructions, IPC {self.ipc:.2f}, "
+            f"issue CoV {self.issue_cov():.3f}"
+        )

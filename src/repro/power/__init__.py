@@ -1,0 +1,17 @@
+"""Analytical area/power model of the issue + operand-read hardware."""
+
+from .components import Cost, comparator_network, crossbar, flops, request_queues, sram
+from .model import DesignPoint, config_cost, fig13_design_points, normalized_costs
+
+__all__ = [
+    "Cost",
+    "comparator_network",
+    "crossbar",
+    "flops",
+    "request_queues",
+    "sram",
+    "DesignPoint",
+    "config_cost",
+    "fig13_design_points",
+    "normalized_costs",
+]

@@ -1,0 +1,134 @@
+"""Design-cost model for the warp scheduler + operand collector + RF banks.
+
+Reproduces Fig. 13: the area/power of scaling collector units per sub-core
+versus adding RBA support, normalized to the 2-CU GTO baseline.  The paper
+reports (from RTL synthesis) roughly +27 % area / +60 % power for 4 CUs and
+~+1 % for RBA; the structure-count model below reproduces those trends from
+the component inventory:
+
+* each CU stores up to 3 operand entries of 32 threads x 32 bits plus tags;
+* the operand crossbar connects every bank to every CU operand entry;
+* the arbitration unit has one request queue per bank with one port per CU
+  operand;
+* the GTO warp-selection comparator network compares 6-bit age keys over
+  the warp PC table; RBA widens each key by the 5-bit score and adds the
+  scoring adders — the paper's "80 bits per sub-core" of extra state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..config import GPUConfig, volta_v100
+from .components import (
+    Cost,
+    comparator_network,
+    crossbar,
+    flops,
+    request_queues,
+    sram,
+)
+
+#: Operand entries per collector unit (3-source instructions).
+OPERANDS_PER_CU = 3
+#: One operand entry: 32 threads x 32 bits of data + ~16 bits of tag state.
+OPERAND_ENTRY_BITS = 32 * 32 + 16
+#: Warp PC table entries per sub-core (V100: 64 warps / 4 sub-cores x 2
+#: slots of lookahead).
+PC_TABLE_ENTRIES = 16
+#: GTO selection key: warp age.
+AGE_BITS = 6
+#: RBA score width (Sec. IV-A).
+RBA_SCORE_BITS = 5
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One Fig. 13 design: a sub-core's issue + operand-read hardware."""
+
+    name: str
+    collector_units: int
+    rf_banks: int = 2
+    rba: bool = False
+    registers_kib: int = 64
+
+    def cost(self) -> Cost:
+        total = Cost(0.0, 0.0)
+
+        # Register file banks (OpenRAM SRAM macros in the paper).  The RF
+        # dominates area but is identical across Fig. 13's designs.
+        rf_bits = self.registers_kib * 1024 * 8
+        total += sram(rf_bits, activity=0.5)
+
+        # Collector units: operand storage flops.
+        cu_bits = self.collector_units * OPERANDS_PER_CU * OPERAND_ENTRY_BITS
+        total += flops(cu_bits, activity=0.6)
+
+        # Operand crossbar: banks x (CU operand entries), 32-bit lanes x32
+        # threads wide.  This is the term that explodes with CU count.
+        total += crossbar(
+            inputs=self.rf_banks,
+            outputs=self.collector_units * OPERANDS_PER_CU,
+            width_bits=32 * 32,  # full 32-thread x 32-bit vector operand bus
+            activity=0.5,
+        )
+
+        # Arbitration: per-bank queues with a port per CU operand.
+        total += request_queues(
+            queues=self.rf_banks,
+            depth=self.collector_units * OPERANDS_PER_CU,
+            width_bits=8,
+            activity=0.4,
+        )
+
+        # Warp PC table + selection comparator network.
+        key_bits = AGE_BITS + (RBA_SCORE_BITS if self.rba else 0)
+        table_bits = PC_TABLE_ENTRIES * (64 + key_bits)
+        total += flops(table_bits, activity=0.3)
+        total += comparator_network(PC_TABLE_ENTRIES, key_bits, activity=0.5)
+
+        if self.rba:
+            # Score adders: one small adder tree per table entry
+            # (2 CUs x 3 operands -> max queue length 6 -> 3-bit adds).
+            total += flops(PC_TABLE_ENTRIES * RBA_SCORE_BITS, activity=0.5)
+
+        return total
+
+
+def fig13_design_points() -> List[DesignPoint]:
+    """The Fig. 13 sweep: 2/4/8/16 CUs plus the RBA design."""
+    return [
+        DesignPoint("2cu-baseline", collector_units=2),
+        DesignPoint("2cu+rba", collector_units=2, rba=True),
+        DesignPoint("4cu", collector_units=4),
+        DesignPoint("8cu", collector_units=8),
+        DesignPoint("16cu", collector_units=16),
+    ]
+
+
+def normalized_costs(points: List[DesignPoint] | None = None) -> Dict[str, Dict[str, float]]:
+    """Area/power of each design point relative to the 2-CU baseline."""
+    points = points if points is not None else fig13_design_points()
+    base = DesignPoint("2cu-baseline", collector_units=2).cost()
+    out: Dict[str, Dict[str, float]] = {}
+    for p in points:
+        c = p.cost()
+        out[p.name] = {
+            "area": c.area / base.area,
+            "power": c.power / base.power,
+        }
+    return out
+
+
+def config_cost(config: GPUConfig | None = None, rba: bool | None = None) -> Cost:
+    """Cost of one sub-core's issue/operand hardware for a GPUConfig."""
+    cfg = config if config is not None else volta_v100()
+    use_rba = rba if rba is not None else cfg.scheduler == "rba"
+    point = DesignPoint(
+        cfg.name,
+        collector_units=cfg.collector_units_per_subcore,
+        rf_banks=cfg.rf_banks_per_subcore,
+        rba=use_rba,
+    )
+    return point.cost()

@@ -1,0 +1,21 @@
+"""Compiler model: register→bank mapping and conflict-aware renaming."""
+
+from .allocator import ConflictAwareAllocator
+from .bank_mapping import (
+    MAPPINGS,
+    BankMapper,
+    get_mapping,
+    mod_mapping,
+    scrambled_mapping,
+    warp_swizzle_mapping,
+)
+
+__all__ = [
+    "ConflictAwareAllocator",
+    "MAPPINGS",
+    "BankMapper",
+    "get_mapping",
+    "mod_mapping",
+    "scrambled_mapping",
+    "warp_swizzle_mapping",
+]

@@ -1,0 +1,58 @@
+"""Register→bank mapping policies.
+
+Bank conflicts depend on how architectural registers map onto the physical
+register-file banks of a sub-core.  On Volta the mapping is a simple modulo
+of the register id over the (two) banks, with the compiler swizzling
+register ids to spread each instruction's operands (Jia et al. 2018).  The
+simulator models the mapping as a pluggable policy:
+
+``mod``
+    ``bank = reg % num_banks`` — the raw hardware mapping.
+``warp_swizzle``
+    ``bank = (reg + warp_id) % num_banks`` — the raw mapping plus a per-warp
+    rotation, decorrelating the bank pressure of different warps the way
+    physical register renaming spreads warps across banks in silicon.  This
+    is the default policy.
+``scrambled``
+    A multiplicative hash of ``(reg, warp_id)`` — an idealized conflict-
+    randomizing mapping used in sensitivity tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+BankMapper = Callable[[int, int, int], int]
+"""(register_id, warp_id, num_banks) -> bank index."""
+
+
+def mod_mapping(reg: int, warp_id: int, num_banks: int) -> int:
+    return reg % num_banks
+
+
+def warp_swizzle_mapping(reg: int, warp_id: int, num_banks: int) -> int:
+    return (reg + warp_id) % num_banks
+
+
+def scrambled_mapping(reg: int, warp_id: int, num_banks: int) -> int:
+    # Knuth multiplicative hash over the combined id; num_banks is small so
+    # taking the low bits after mixing is adequate.
+    x = (reg * 2654435761 + warp_id * 40503) & 0xFFFFFFFF
+    return (x >> 8) % num_banks
+
+
+MAPPINGS: Dict[str, BankMapper] = {
+    "mod": mod_mapping,
+    "warp_swizzle": warp_swizzle_mapping,
+    "scrambled": scrambled_mapping,
+}
+
+
+def get_mapping(name: str) -> BankMapper:
+    """Look up a mapping policy by name, raising ``KeyError`` with options."""
+    try:
+        return MAPPINGS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown bank mapping {name!r}; options: {sorted(MAPPINGS)}"
+        ) from None

@@ -1,0 +1,31 @@
+"""Trace-driven workload representation: warp, CTA, and kernel traces."""
+
+from .builder import TraceBuilder, make_cta, make_kernel
+from .kernel_trace import WARP_SIZE, CTATrace, KernelTrace
+from .text_format import (
+    TraceParseError,
+    dump_kernel,
+    format_instruction,
+    load_kernel,
+    parse_instruction,
+    parse_kernel,
+    save_kernel,
+)
+from .warp_trace import WarpTrace
+
+__all__ = [
+    "TraceBuilder",
+    "make_cta",
+    "make_kernel",
+    "WARP_SIZE",
+    "CTATrace",
+    "KernelTrace",
+    "WarpTrace",
+    "TraceParseError",
+    "dump_kernel",
+    "format_instruction",
+    "load_kernel",
+    "parse_instruction",
+    "parse_kernel",
+    "save_kernel",
+]

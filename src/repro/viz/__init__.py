@@ -1,0 +1,5 @@
+"""Terminal (ASCII) chart rendering for figure output."""
+
+from .ascii_charts import bar_chart, hbar, histogram, sparkline, speedup_chart, timeline
+
+__all__ = ["bar_chart", "hbar", "histogram", "sparkline", "speedup_chart", "timeline"]

@@ -1,0 +1,144 @@
+"""ASCII chart rendering for figure output.
+
+The paper's evaluation is a set of bar charts and time series; this module
+renders their shapes directly in the terminal so the benchmark harnesses
+can show, not just list, their results — without a plotting dependency.
+
+All functions return strings; nothing prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+#: Eighth-block characters for smooth horizontal bars.
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+#: Sparkline levels.
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def hbar(value: float, vmax: float, width: int = 40) -> str:
+    """A horizontal bar of ``value`` scaled so ``vmax`` fills ``width``."""
+    if vmax <= 0:
+        return ""
+    frac = max(0.0, min(1.0, value / vmax))
+    cells = frac * width
+    full = int(cells)
+    eighths = int((cells - full) * 8)
+    partial = _BLOCKS[eighths] if full < width and eighths > 0 else ""
+    return "█" * full + partial
+
+
+def bar_chart(
+    title: str,
+    values: Mapping[str, float],
+    width: int = 40,
+    fmt: str = "{:.2f}",
+    baseline: Optional[float] = None,
+) -> str:
+    """Labelled horizontal bar chart.
+
+    With ``baseline`` set, bars start at the baseline (useful for speedup
+    charts where 1.0 is parity): the bar length shows ``value - baseline``
+    and negative deltas render with ``-`` dashes.
+    """
+    if not values:
+        return f"{title}\n(no data)"
+    label_w = max(len(k) for k in values)
+    if baseline is None:
+        vmax = max(values.values()) or 1.0
+        rows = [
+            f"{k:<{label_w}} |{hbar(v, vmax, width):<{width}}| {fmt.format(v)}"
+            for k, v in values.items()
+        ]
+    else:
+        deltas = {k: v - baseline for k, v in values.items()}
+        vmax = max(abs(d) for d in deltas.values()) or 1.0
+        rows = []
+        for k, v in values.items():
+            d = deltas[k]
+            bar = hbar(abs(d), vmax, width)
+            mark = bar if d >= 0 else "-" * max(1, len(bar))
+            rows.append(f"{k:<{label_w}} |{mark:<{width}}| {fmt.format(v)}")
+    return "\n".join([title, "-" * len(title)] + rows)
+
+
+def sparkline(values: Sequence[float], vmax: Optional[float] = None) -> str:
+    """A one-line sparkline of a series."""
+    if not len(values):
+        return ""
+    top = vmax if vmax is not None else max(values)
+    if top <= 0:
+        return _SPARKS[0] * len(values)
+    out = []
+    for v in values:
+        frac = max(0.0, min(1.0, v / top))
+        out.append(_SPARKS[min(len(_SPARKS) - 1, int(frac * len(_SPARKS)))])
+    return "".join(out)
+
+
+def timeline(
+    title: str,
+    values: Sequence[float],
+    buckets: int = 64,
+    vmax: Optional[float] = None,
+    annotate_mean: bool = True,
+) -> str:
+    """Bucketed sparkline of a long per-cycle series (Fig. 14 style)."""
+    vals = list(values)
+    if not vals:
+        return f"{title}\n(empty)"
+    step = max(1, len(vals) // buckets)
+    bucketed = [
+        sum(vals[i : i + step]) / len(vals[i : i + step])
+        for i in range(0, len(vals), step)
+    ]
+    line = sparkline(bucketed, vmax=vmax)
+    mean = sum(vals) / len(vals)
+    suffix = f"  (mean {mean:.1f}, peak {max(vals):.0f})" if annotate_mean else ""
+    return f"{title}\n{line}{suffix}"
+
+
+def histogram(
+    title: str,
+    values: Sequence[float],
+    bins: int = 10,
+    width: int = 40,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """Vertical-label, horizontal-bar histogram (Fig. 1 distribution view)."""
+    vals = list(values)
+    if not vals:
+        return f"{title}\n(empty)"
+    lo = min(vals) if lo is None else lo
+    hi = max(vals) if hi is None else hi
+    if hi <= lo:
+        hi = lo + 1.0
+    counts = [0] * bins
+    span = hi - lo
+    for v in vals:
+        idx = int((v - lo) / span * bins)
+        counts[min(max(idx, 0), bins - 1)] += 1
+    peak = max(counts) or 1
+    rows = []
+    for i, c in enumerate(counts):
+        b_lo = lo + span * i / bins
+        b_hi = lo + span * (i + 1) / bins
+        rows.append(
+            f"{b_lo:7.2f}-{b_hi:<7.2f} |{hbar(c, peak, width):<{width}}| {c}"
+        )
+    return "\n".join([title, "-" * len(title)] + rows)
+
+
+def speedup_chart(
+    title: str, speedups: Mapping[str, float], width: int = 40
+) -> str:
+    """Bar chart of speedups anchored at 1.0 parity."""
+    return bar_chart(
+        title,
+        speedups,
+        width=width,
+        fmt="{:+.1%}".replace("%", "%%") if False else "{:.3f}x",
+        baseline=1.0,
+    )

@@ -1,0 +1,52 @@
+"""Synthetic workload models: microbenchmarks and the 112-app registry."""
+
+from .characterize import TraceCharacteristics, characterization_table, characterize
+from .microbench import (
+    FMA_LAYOUTS,
+    PAPER_FMA_COUNT,
+    cu_validation_microbenchmarks,
+    fma_microbenchmark,
+    scaled_imbalance_microbenchmark,
+)
+from .profiles import AppProfile
+from .registry import (
+    COMPUTE_BOUND_APPS,
+    EXPECTED_APP_COUNT,
+    RF_SENSITIVE_APPS,
+    SENSITIVE_APPS,
+    all_profiles,
+    app_names,
+    get_kernel,
+    get_profile,
+    suites,
+)
+from .synth import build_cta_trace, build_kernel, build_warp_trace
+from .tpch import all_tpch_profiles, tpch_kernel, tpch_profile, tpch_queries
+
+__all__ = [
+    "TraceCharacteristics",
+    "characterization_table",
+    "characterize",
+    "FMA_LAYOUTS",
+    "PAPER_FMA_COUNT",
+    "cu_validation_microbenchmarks",
+    "fma_microbenchmark",
+    "scaled_imbalance_microbenchmark",
+    "AppProfile",
+    "COMPUTE_BOUND_APPS",
+    "EXPECTED_APP_COUNT",
+    "RF_SENSITIVE_APPS",
+    "SENSITIVE_APPS",
+    "all_profiles",
+    "app_names",
+    "get_kernel",
+    "get_profile",
+    "suites",
+    "build_cta_trace",
+    "build_kernel",
+    "build_warp_trace",
+    "all_tpch_profiles",
+    "tpch_kernel",
+    "tpch_profile",
+    "tpch_queries",
+]

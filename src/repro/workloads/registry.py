@@ -1,0 +1,126 @@
+"""The 112-application registry.
+
+Mirrors the paper's evaluation population: 44 TPC-H queries (22 x two
+database flavours) plus 68 apps from cuGraph, Parboil, Rodinia, Polybench,
+DeepBench and Cutlass.  ``SENSITIVE_APPS`` is the Table III subset used by
+the Fig. 10/12 summary plots; ``RF_SENSITIVE_APPS`` is the read-operand-
+limited sub-population of Fig. 11/14.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List
+
+from ..trace import KernelTrace
+from .profiles import AppProfile
+from .suites import all_suite_profiles
+from .synth import build_kernel
+from .tpch import all_tpch_profiles
+
+#: Number of applications the paper evaluates.
+EXPECTED_APP_COUNT = 112
+
+#: Table III — applications particularly sensitive to SM core partitioning.
+SENSITIVE_APPS = (
+    "tpcU-q8",
+    "tpcC-q9",
+    "pb-mriq",
+    "pb-mrig",
+    "pb-sad",
+    "pb-sgemm",
+    "pb-cutcp",
+    "cutlass-4096",
+    "rod-lavaMD",
+    "rod-bp",
+    "rod-srad",
+    "rod-htsp",
+    "cg-lou",
+    "cg-bfs",
+    "cg-sssp",
+    "cg-pgrnk",
+    "cg-wcc",
+    "cg-katz",
+    "cg-hits",
+    "ply-2Dcon",
+    "ply-3Dcon",
+    "db-conv-tr",
+    "db-conv-inf",
+    "db-rnn-tr",
+    "db-rnn-inf",
+)
+
+#: Apps limited by the read-operand stage (Fig. 11 / Fig. 14 population).
+RF_SENSITIVE_APPS = (
+    "pb-mriq",
+    "pb-mrig",
+    "pb-sgemm",
+    "rod-lavaMD",
+    "rod-bp",
+    "rod-srad",
+    "rod-htsp",
+    "cg-lou",
+    "cg-bfs",
+    "cg-sssp",
+    "cg-pgrnk",
+    "cg-wcc",
+    "cg-katz",
+    "cg-hits",
+    "ply-2Dcon",
+    "ply-3Dcon",
+)
+
+#: Compute-bound apps that scale with SM count (Fig. 18 population).
+COMPUTE_BOUND_APPS = (
+    "pb-sgemm",
+    "pb-cutcp",
+    "pb-sad",
+    "cutlass-4096",
+    "cutlass-2048",
+    "rod-lavaMD",
+    "ply-gemm",
+    "ply-2mm",
+    "db-gemm-tr",
+    "db-conv-tr",
+)
+
+
+@lru_cache(maxsize=1)
+def all_profiles() -> Dict[str, AppProfile]:
+    """All 112 application profiles, keyed by name."""
+    out: Dict[str, AppProfile] = {}
+    out.update(all_tpch_profiles())
+    out.update(all_suite_profiles())
+    if len(out) != EXPECTED_APP_COUNT:
+        raise RuntimeError(
+            f"registry has {len(out)} apps; expected {EXPECTED_APP_COUNT}"
+        )
+    return out
+
+
+def get_profile(name: str) -> AppProfile:
+    try:
+        return all_profiles()[name]
+    except KeyError:
+        raise KeyError(f"unknown application {name!r}") from None
+
+
+def get_kernel(name: str) -> KernelTrace:
+    """Synthesize the kernel trace of a registered application."""
+    return build_kernel(get_profile(name))
+
+
+def app_names(suite: str | None = None) -> List[str]:
+    """All app names, optionally filtered by suite."""
+    profiles = all_profiles()
+    if suite is None:
+        return sorted(profiles)
+    names = sorted(n for n, p in profiles.items() if p.suite == suite)
+    if not names:
+        suites = sorted({p.suite for p in profiles.values()})
+        raise KeyError(f"unknown suite {suite!r}; options: {suites}")
+    return names
+
+
+def suites() -> List[str]:
+    return sorted({p.suite for p in all_profiles().values()})

@@ -1,0 +1,154 @@
+"""Profile → kernel-trace synthesis.
+
+Turns an :class:`~repro.workloads.profiles.AppProfile` into a concrete
+:class:`~repro.trace.KernelTrace`.  Generation is fully deterministic: the
+per-warp RNG is seeded from ``(profile.seed, warp_index)``, so the same
+profile always yields byte-identical traces regardless of how many warps
+or CTAs other callers have generated.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..isa import Instruction, MemRef, Opcode
+from ..trace import CTATrace, KernelTrace, WarpTrace
+from .profiles import AppProfile
+
+#: Cache-line size assumed by generated addresses.
+LINE_BYTES = 128
+#: Hot-set lines per warp for local (hit-side) accesses.
+HOT_LINES = 16
+
+_ARITH_FP = (Opcode.FADD, Opcode.FMUL, Opcode.FFMA)
+_ARITH_INT = (Opcode.SHF, Opcode.IADD, Opcode.IMAD)
+
+
+def build_warp_trace(profile: AppProfile, warp_index: int, num_insts: int) -> WarpTrace:
+    """Synthesize one warp's instruction stream."""
+    rng = np.random.default_rng((profile.seed, warp_index))
+    p = profile
+
+    weights = np.asarray(p.operand_weights, dtype=float)
+    weights = weights / weights.sum()
+
+    # Pre-draw every random decision in bulk.
+    kind_draw = rng.random(num_insts)
+    nops = rng.choice(np.array([1, 2, 3]), size=num_insts, p=weights)
+    bias_draw = rng.random(num_insts) < p.bank_bias
+    dep_draw = rng.random(num_insts) < p.dep_fraction
+    fp_draw = rng.random(num_insts) < p.fp_fraction
+    store_draw = rng.random(num_insts) < p.store_fraction
+    local_draw = rng.random(num_insts) < p.mem_locality
+    reg_draw = rng.integers(0, p.read_regs, size=(num_insts, 3))
+    biased_draw = rng.integers(0, max(1, p.read_regs // 2), size=(num_insts, 3))
+    hot_draw = rng.integers(0, HOT_LINES, size=num_insts)
+
+    mem_cut = p.mem_fraction
+    lds_cut = mem_cut + p.lds_fraction
+    sfu_cut = lds_cut + p.sfu_fraction
+    tensor_cut = sfu_cut + p.tensor_fraction
+
+    # Per-warp address regions: a small hot set (locality hits) and an
+    # unbounded stream (misses).
+    hot_base = (warp_index + 1) << 24
+    stream_line = (warp_index + 1) << 16
+    write_base = p.read_regs
+    addr_reg = p.read_regs + p.write_regs  # dedicated address register
+
+    # Bank-coherent phases: all biased instructions inside one phase use
+    # the same register parity class.
+    parity = int(rng.integers(0, 2))
+    phase_left = p.phase_len
+
+    insts: List[Instruction] = []
+    last_dst = None
+    for i in range(num_insts):
+        phase_left -= 1
+        if phase_left <= 0:
+            parity ^= 1
+            phase_left = p.phase_len
+
+        k = int(nops[i])
+        if bias_draw[i]:
+            srcs = [int(2 * biased_draw[i, j] + parity) % p.read_regs for j in range(k)]
+        else:
+            srcs = [int(reg_draw[i, j]) for j in range(k)]
+        if dep_draw[i] and last_dst is not None:
+            srcs[0] = last_dst
+        dst = write_base + (i % p.write_regs)
+
+        x = kind_draw[i]
+        if x < mem_cut:
+            if store_draw[i]:
+                line = stream_line + i
+                insts.append(
+                    Instruction(
+                        Opcode.STG,
+                        src_regs=(srcs[0] if srcs else 0, addr_reg),
+                        mem=MemRef(
+                            base_address=line * LINE_BYTES,
+                            num_lines=p.coalesced_lines,
+                            is_store=True,
+                        ),
+                    )
+                )
+                last_dst = None
+            else:
+                if local_draw[i]:
+                    line = hot_base + int(hot_draw[i])
+                    lines = 1
+                else:
+                    stream_line += p.coalesced_lines
+                    line = stream_line
+                    lines = p.coalesced_lines
+                insts.append(
+                    Instruction(
+                        Opcode.LDG,
+                        dst_reg=dst,
+                        src_regs=(addr_reg,),
+                        mem=MemRef(base_address=line * LINE_BYTES, num_lines=lines),
+                    )
+                )
+                last_dst = dst
+        elif x < lds_cut:
+            insts.append(Instruction(Opcode.LDS, dst_reg=dst, src_regs=(addr_reg,)))
+            last_dst = dst
+        elif x < sfu_cut:
+            insts.append(Instruction(Opcode.MUFU, dst_reg=dst, src_regs=(srcs[0],)))
+            last_dst = dst
+        elif x < tensor_cut:
+            while len(srcs) < 3:
+                srcs.append(int(reg_draw[i, len(srcs) % 3]))
+            insts.append(Instruction(Opcode.HMMA, dst_reg=dst, src_regs=tuple(srcs[:3])))
+            last_dst = dst
+        else:
+            table = _ARITH_FP if fp_draw[i] else _ARITH_INT
+            insts.append(Instruction(table[k - 1], dst_reg=dst, src_regs=tuple(srcs)))
+            last_dst = dst
+
+    if p.barrier:
+        insts.append(Instruction(Opcode.BAR))
+    return WarpTrace.from_instructions(insts)
+
+
+def build_cta_trace(profile: AppProfile) -> CTATrace:
+    lengths = profile.warp_lengths()
+    return CTATrace(
+        [build_warp_trace(profile, i, n) for i, n in enumerate(lengths)]
+    )
+
+
+def build_kernel(profile: AppProfile) -> KernelTrace:
+    """Synthesize the full kernel trace for ``profile``."""
+    cta = build_cta_trace(profile)
+    return KernelTrace.uniform(
+        profile.name,
+        cta,
+        num_ctas=profile.num_ctas,
+        regs_per_thread=profile.regs_per_thread,
+        shared_mem_per_cta=profile.shared_mem_per_cta,
+        shared_conflict_degree=profile.shared_conflict_degree,
+    )

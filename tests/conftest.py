@@ -1,0 +1,37 @@
+"""Shared fixtures and kernel helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import volta_v100
+from repro.isa import Instruction, Opcode
+from repro.trace import TraceBuilder, WarpTrace, make_kernel
+
+
+@pytest.fixture
+def volta():
+    return volta_v100()
+
+
+@pytest.fixture
+def tiny_volta():
+    """A Volta-like config shrunk for fast single-SM tests."""
+    return volta_v100().replace(num_sms=1)
+
+
+def fma_warp(n: int = 32, regs: int = 8) -> WarpTrace:
+    return TraceBuilder().fma_chain(n, regs=regs).build()
+
+
+def simple_kernel(warps: int = 8, insts: int = 32, name: str = "test-kernel"):
+    return make_kernel(name, [fma_warp(insts) for _ in range(warps)])
+
+
+def independent_warp(n: int = 32) -> WarpTrace:
+    """A warp of independent 2-source adds (no RAW hazards)."""
+    body = [
+        Instruction(Opcode.FADD, dst_reg=8 + (i % 8), src_regs=(i % 4, 4 + (i % 4)))
+        for i in range(n)
+    ]
+    return WarpTrace.from_instructions(body)

@@ -1,0 +1,97 @@
+"""Tests for the analytical IPC-bounds (roofline) model.
+
+The load-bearing invariant: simulated IPC never exceeds the analytic
+ceiling, for any scheduler/assignment design, because the bound only uses
+physical resource limits.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import simulate, volta_v100
+from repro.config import fully_connected
+from repro.experiments import get_design
+from repro.metrics import IPCBounds, bound_report, ipc_bounds
+from repro.workloads import AppProfile, build_kernel, fma_microbenchmark, get_kernel
+
+
+class TestBoundsStructure:
+    def test_binding_is_minimum(self):
+        b = IPCBounds(issue=4.0, read_bandwidth=2.0, execution=3.0,
+                      memory_bandwidth=10.0)
+        assert b.binding == "read_bandwidth"
+        assert b.ipc == 2.0
+
+    def test_as_dict_roundtrip(self):
+        b = IPCBounds(1.0, 2.0, 3.0, 4.0)
+        assert set(b.as_dict()) == {
+            "issue", "read_bandwidth", "execution", "memory_bandwidth"
+        }
+
+    def test_pure_compute_unbounded_memory(self):
+        k = fma_microbenchmark("baseline", fmas=16)
+        b = ipc_bounds(k, volta_v100())
+        assert b.memory_bandwidth == float("inf")
+
+    def test_pure_fp_kernel_execution_bound(self):
+        # All-FFMA kernel: FP32 accepts 0.5 warps/cycle/sub-core -> 2 IPC.
+        k = fma_microbenchmark("baseline", fmas=32)
+        b = ipc_bounds(k, volta_v100())
+        assert b.execution == pytest.approx(2.0, rel=0.05)
+
+    def test_issue_bound_scales_with_subcores(self):
+        k = fma_microbenchmark("baseline", fmas=16)
+        assert ipc_bounds(k, volta_v100()).issue == 4.0
+        assert ipc_bounds(k, fully_connected()).issue == 4.0
+
+    def test_read_bound_uses_operand_count(self):
+        k = fma_microbenchmark("baseline", fmas=32)  # ~3 ops/instr
+        b = ipc_bounds(k, volta_v100())
+        # 8 banks x 1 port / ~2.9 reads per instruction
+        assert 2.4 < b.read_bandwidth < 3.0
+
+    def test_report_renders(self):
+        text = bound_report(get_kernel("cg-lou"), volta_v100())
+        assert "binding constraint" in text
+
+
+class TestBoundInvariant:
+    DESIGNS = ("baseline", "rba", "shuffle_rba", "fully_connected", "cu8")
+    APPS = ("cg-lou", "pb-stencil", "tpcU-q8", "rod-nw", "db-conv-tr")
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_simulation_never_beats_bound(self, app):
+        k = get_kernel(app)
+        for design in self.DESIGNS:
+            cfg = get_design(design)
+            bound = ipc_bounds(k, cfg).ipc
+            got = simulate(k, cfg, num_sms=1).ipc
+            assert got <= bound * 1.01, (app, design, got, bound)
+
+    def test_rba_closes_gap_on_rf_sensitive_app(self):
+        k = get_kernel("cg-lou")
+        cfg = volta_v100()
+        bound = ipc_bounds(k, cfg).ipc
+        gto_gap = bound - simulate(k, cfg, num_sms=1).ipc
+        rba_gap = bound - simulate(k, get_design("rba"), num_sms=1).ipc
+        assert rba_gap < gto_gap
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    bias=st.floats(min_value=0.0, max_value=1.0),
+    mem=st.floats(min_value=0.0, max_value=0.3),
+    fp=st.floats(min_value=0.2, max_value=0.8),
+)
+@settings(max_examples=10, deadline=None)
+def test_property_bound_holds_for_random_profiles(seed, bias, mem, fp):
+    p = AppProfile(
+        "prop", "s", seed, warps_per_cta=16, num_ctas=2, insts_per_warp=60,
+        bank_bias=bias, mem_fraction=mem, fp_fraction=fp,
+    )
+    k = build_kernel(p)
+    cfg = volta_v100()
+    bound = ipc_bounds(k, cfg).ipc
+    got = simulate(k, cfg, num_sms=1).ipc
+    assert got <= bound * 1.01

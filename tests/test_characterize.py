@@ -1,0 +1,86 @@
+"""Tests for static trace characterization."""
+
+import pytest
+
+from repro.isa import Instruction, Opcode
+from repro.trace import WarpTrace, make_kernel
+from repro.workloads import (
+    characterization_table,
+    characterize,
+    fma_microbenchmark,
+    get_kernel,
+    scaled_imbalance_microbenchmark,
+)
+
+
+def kernel_from(bodies, name="k"):
+    return make_kernel(name, [WarpTrace.from_instructions(b) for b in bodies])
+
+
+class TestCharacterize:
+    def test_unit_mix_sums_to_one(self):
+        c = characterize(get_kernel("cg-lou"))
+        assert sum(c.unit_mix.values()) == pytest.approx(1.0)
+
+    def test_mean_operands_exact(self):
+        bodies = [[
+            Instruction(Opcode.FADD, dst_reg=8, src_regs=(0,)),
+            Instruction(Opcode.FFMA, dst_reg=9, src_regs=(0, 1, 2)),
+        ]]
+        c = characterize(kernel_from(bodies))
+        assert c.mean_operands == pytest.approx(2.0)
+
+    def test_memory_fraction(self):
+        from repro.isa import ldg
+
+        bodies = [[ldg(1, 0, 0), Instruction(Opcode.FADD, dst_reg=8, src_regs=(0, 1))]]
+        c = characterize(kernel_from(bodies))
+        assert c.memory_fraction == pytest.approx(0.5)
+
+    def test_divergence_of_uniform_kernel(self):
+        c = characterize(fma_microbenchmark("baseline", fmas=16))
+        assert c.interwarp_divergence == pytest.approx(1.0)
+        assert c.warp_length_cov == pytest.approx(0.0)
+
+    def test_divergence_of_imbalanced_kernel(self):
+        c = characterize(scaled_imbalance_microbenchmark(8, base_fmas=16))
+        assert c.interwarp_divergence > 2.0
+
+    def test_bank_coherence_extremes(self):
+        # all-even sources -> fully coherent under mod/warp-swizzle
+        coherent = [[Instruction(Opcode.FADD, dst_reg=9, src_regs=(0, 2))]]
+        c = characterize(kernel_from(coherent), mapping="mod")
+        assert c.bank_coherence == pytest.approx(1.0)
+        spread = [[Instruction(Opcode.FADD, dst_reg=9, src_regs=(0, 1))]]
+        c2 = characterize(kernel_from(spread), mapping="mod")
+        assert c2.bank_coherence == pytest.approx(0.0)
+
+    def test_exit_not_counted(self):
+        c = characterize(kernel_from([[Instruction(Opcode.NOP)]]))
+        assert c.dynamic_instructions == 1
+
+
+class TestTriage:
+    def test_imbalance_detected(self):
+        c = characterize(get_kernel("tpcU-q8"))
+        assert c.dominant_effect() == "issue-imbalance"
+
+    def test_read_operand_detected(self):
+        c = characterize(get_kernel("cg-lou"))
+        assert c.dominant_effect() == "read-operand-limited"
+
+    def test_memory_bound_detected(self):
+        c = characterize(get_kernel("pb-stencil"))
+        assert c.dominant_effect() == "memory-bound"
+
+    def test_insensitive_fma(self):
+        c = characterize(fma_microbenchmark("baseline", fmas=16))
+        assert c.dominant_effect() == "insensitive"
+
+
+class TestTable:
+    def test_renders_all_rows(self):
+        ks = {"a": get_kernel("rod-nw"), "b": fma_microbenchmark("baseline", fmas=8)}
+        text = characterization_table(ks)
+        assert "rod-nw" in text and "fma-baseline" in text
+        assert "effect" in text

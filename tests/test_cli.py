@@ -1,0 +1,29 @@
+"""Tests for the ``python -m repro`` experiment CLI."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "headline" in out
+
+    def test_no_args_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "experiments:" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_runs_fast_experiment(self, capsys):
+        assert main(["fig13"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 13" in out
+
+    def test_every_registered_name_is_callable(self):
+        for fn in EXPERIMENTS.values():
+            assert callable(fn)

@@ -1,0 +1,164 @@
+"""Unit tests for GPUConfig and the named presets (Table II)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    AssignmentPolicy,
+    GPUConfig,
+    MemoryConfig,
+    SchedulerPolicy,
+    ampere_a100,
+    bank_stealing,
+    fully_connected,
+    kepler,
+    rba,
+    shuffle,
+    shuffle_rba,
+    srr,
+    tpch_config,
+    volta_v100,
+    with_cus,
+)
+
+
+class TestGPUConfigDefaults:
+    def test_baseline_matches_table_ii(self):
+        cfg = volta_v100()
+        assert cfg.num_sms == 80
+        assert cfg.subcores_per_sm == 4
+        assert cfg.scheduler == SchedulerPolicy.GTO
+        assert cfg.assignment == AssignmentPolicy.ROUND_ROBIN
+        assert cfg.max_warps_per_sm == 64
+        assert cfg.rf_banks_per_subcore == 2
+        assert cfg.collector_units_per_subcore == 2
+        assert cfg.memory.shared_mem_banks == 32
+        assert cfg.memory.l2_ways == 24
+        assert cfg.memory.l2_size_bytes == 6 * 1024 * 1024
+
+    def test_derived_quantities(self):
+        cfg = volta_v100()
+        assert cfg.max_warps_per_subcore == 16
+        assert cfg.total_rf_banks == 8
+        assert cfg.total_collector_units == 8
+        assert not cfg.is_fully_connected
+
+    def test_config_is_frozen(self):
+        cfg = volta_v100()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.num_sms = 4
+
+    def test_config_is_hashable(self):
+        assert hash(volta_v100()) == hash(volta_v100())
+
+    def test_replace_returns_new_config(self):
+        cfg = volta_v100()
+        other = cfg.replace(num_sms=4)
+        assert other.num_sms == 4
+        assert cfg.num_sms == 80
+
+    def test_describe_mentions_key_fields(self):
+        text = volta_v100().describe()
+        assert "Sub-Cores per SM" in text
+        assert "gto" in text
+
+
+class TestGPUConfigValidation:
+    def test_rejects_zero_subcores(self):
+        with pytest.raises(ValueError):
+            GPUConfig(subcores_per_sm=0)
+
+    def test_rejects_zero_banks(self):
+        with pytest.raises(ValueError):
+            GPUConfig(rf_banks_per_subcore=0)
+
+    def test_rejects_zero_cus(self):
+        with pytest.raises(ValueError):
+            GPUConfig(collector_units_per_subcore=0)
+
+    def test_rejects_uneven_warp_split(self):
+        with pytest.raises(ValueError):
+            GPUConfig(subcores_per_sm=3)  # 64 % 3 != 0
+
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(ValueError):
+            GPUConfig(scheduler="magic")
+
+    def test_rejects_unknown_assignment(self):
+        with pytest.raises(ValueError):
+            GPUConfig(assignment="magic")
+
+    def test_rejects_negative_score_latency(self):
+        with pytest.raises(ValueError):
+            GPUConfig(rba_score_latency=-1)
+
+
+class TestPresets:
+    def test_kepler_is_monolithic(self):
+        cfg = kepler()
+        assert cfg.is_fully_connected
+        assert cfg.issue_width == 4
+        assert cfg.rf_banks_per_subcore == 8
+
+    def test_ampere_partitioned_like_volta(self):
+        cfg = ampere_a100()
+        assert cfg.subcores_per_sm == 4
+        assert cfg.num_sms == 108
+
+    def test_fully_connected_preserves_aggregate_capacity(self):
+        base = volta_v100()
+        fc = fully_connected(base)
+        assert fc.subcores_per_sm == 1
+        assert fc.issue_width == base.issue_width * 4
+        assert fc.rf_banks_per_subcore == base.total_rf_banks
+        assert fc.collector_units_per_subcore == base.total_collector_units
+        assert fc.fp32_lanes == base.fp32_lanes * 4
+        assert fc.max_warps_per_sm == base.max_warps_per_sm
+
+    def test_fully_connected_total_banks_unchanged(self):
+        assert fully_connected().total_rf_banks == volta_v100().total_rf_banks
+
+    def test_scheduler_presets(self):
+        assert rba().scheduler == SchedulerPolicy.RBA
+        assert bank_stealing().scheduler == SchedulerPolicy.BANK_STEALING
+        assert srr().assignment == AssignmentPolicy.SRR
+        assert shuffle().assignment == AssignmentPolicy.SHUFFLE
+
+    def test_shuffle_rba_combines_both(self):
+        cfg = shuffle_rba()
+        assert cfg.scheduler == SchedulerPolicy.RBA
+        assert cfg.assignment == AssignmentPolicy.SHUFFLE
+
+    def test_tpch_config_limits_sms(self):
+        assert tpch_config().num_sms == 20
+
+    def test_with_cus(self):
+        assert with_cus(8).collector_units_per_subcore == 8
+        assert "8cu" in with_cus(8).name
+
+    def test_preset_overrides(self):
+        assert volta_v100(num_sms=2).num_sms == 2
+        assert rba(rba_score_latency=5).rba_score_latency == 5
+
+    def test_presets_have_distinct_names(self):
+        names = {
+            volta_v100().name,
+            kepler().name,
+            ampere_a100().name,
+            fully_connected().name,
+            rba().name,
+            srr().name,
+            shuffle().name,
+            shuffle_rba().name,
+            bank_stealing().name,
+        }
+        assert len(names) == 9
+
+
+class TestMemoryConfig:
+    def test_defaults(self):
+        mem = MemoryConfig()
+        assert mem.l1_size_bytes == 128 * 1024
+        assert mem.l1_line_bytes == 128
+        assert mem.dram_latency > mem.l2_hit_latency > mem.l1_hit_latency

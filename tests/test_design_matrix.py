@@ -1,0 +1,46 @@
+"""Smoke matrix: every named design point simulates a small kernel.
+
+Catches design-point configs that validate but cannot actually run (bad
+interactions between knobs), which single-design tests would miss.
+"""
+
+import pytest
+
+from repro import simulate
+from repro.experiments import design_names, get_design
+from repro.workloads import fma_microbenchmark, scaled_imbalance_microbenchmark
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return scaled_imbalance_microbenchmark(4, base_fmas=24)
+
+
+@pytest.mark.parametrize("design", design_names())
+def test_design_simulates(design, kernel):
+    stats = simulate(kernel, get_design(design), num_sms=1)
+    assert stats.cycles > 0
+    assert stats.instructions == kernel.dynamic_instructions + kernel.total_warps
+    assert sum(sm.ctas_completed for sm in stats.sms) == kernel.num_ctas
+
+
+def test_design_names_are_stable():
+    # The experiment harnesses and EXPERIMENTS.md reference these by name.
+    required = {
+        "baseline", "rba", "srr", "shuffle", "shuffle_rba", "srr_rba",
+        "fully_connected", "fc_rba", "bank_stealing", "two_level",
+        "cu1", "cu2", "cu4", "cu8", "cu16",
+        "rba_4banks", "baseline_4banks",
+        "shuffle_4entry", "shuffle_16entry",
+        "rba_lat0", "rba_lat20",
+    }
+    assert required <= set(design_names())
+
+
+def test_all_designs_agree_on_work(kernel):
+    instr = None
+    for design in design_names():
+        stats = simulate(kernel, get_design(design), num_sms=1)
+        if instr is None:
+            instr = stats.instructions
+        assert stats.instructions == instr, design

@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs and produces its key output.
+
+The examples are the quickstart surface of the library; they must keep
+working.  Each is imported and driven through its ``main()`` with stdout
+captured (cheaper and better-reported than subprocesses).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(f"example_{name}", EXAMPLES / name)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "slowdown from sub-core imbalance" in out
+        assert "SRR" in out
+
+    def test_register_pressure(self, capsys):
+        out = run_example("register_pressure.py", capsys)
+        assert "RBA" in out
+        assert "fully-connected SM" in out
+
+    def test_warp_specialization(self, capsys):
+        out = run_example("warp_specialization.py", capsys)
+        assert "issue CoV" in out
+        assert "TPC-H query 8" in out
+
+    def test_custom_design_sweep(self, capsys):
+        out = run_example("custom_design_sweep.py", capsys)
+        assert "IPC surface" in out
+        assert "srr-as-table" in out
+
+    def test_trace_files(self, capsys):
+        out = run_example("trace_files.py", capsys)
+        assert "round-trip" in out
+        assert "profile:" in out

@@ -1,0 +1,110 @@
+"""Integration tests asserting the paper's headline shapes end-to-end.
+
+These are the regression net for the reproduction itself: if a simulator
+change breaks one of the paper's qualitative results, it fails here —
+with workload sizes trimmed for test-suite latency.
+"""
+
+import pytest
+
+from repro import (
+    bank_stealing,
+    fully_connected,
+    kepler,
+    rba,
+    shuffle,
+    simulate,
+    srr,
+    volta_v100,
+)
+from repro.workloads import fma_microbenchmark, get_kernel, scaled_imbalance_microbenchmark
+
+
+def cycles(kernel, cfg):
+    return simulate(kernel, cfg, num_sms=1).cycles
+
+
+class TestImbalancePathology:
+    """Sec. III-B / Fig. 3: static RR assignment serializes the unbalanced
+    FMA microbenchmark on partitioned SMs only."""
+
+    def test_volta_unbalanced_near_4x(self):
+        base = cycles(fma_microbenchmark("baseline", fmas=128), volta_v100())
+        unb = cycles(fma_microbenchmark("unbalanced", fmas=128), volta_v100())
+        assert 3.0 < unb / base < 4.5
+
+    def test_balanced_layout_recovers(self):
+        base = cycles(fma_microbenchmark("baseline", fmas=128), volta_v100())
+        bal = cycles(fma_microbenchmark("balanced", fmas=128), volta_v100())
+        assert bal / base < 1.15
+
+    def test_kepler_immune(self):
+        base = cycles(fma_microbenchmark("baseline", fmas=128), kepler())
+        unb = cycles(fma_microbenchmark("unbalanced", fmas=128), kepler())
+        assert unb / base < 1.15
+
+    def test_hashed_assignment_fixes_unbalanced(self):
+        k = scaled_imbalance_microbenchmark(8, base_fmas=32)
+        rr_t = cycles(k, volta_v100())
+        srr_t = cycles(k, srr())
+        shuffle_t = cycles(k, shuffle())
+        assert rr_t / srr_t > 1.5          # SRR fixes the 1-in-4 pattern
+        assert rr_t / shuffle_t > 1.2      # Shuffle helps, less than SRR
+        assert srr_t <= shuffle_t
+
+
+class TestRBAHeadline:
+    """Sec. VI-B: RBA speeds up read-operand-limited apps at ~zero cost."""
+
+    def test_rba_speeds_up_cugraph(self):
+        k = get_kernel("cg-lou")
+        base, fast = cycles(k, volta_v100()), cycles(k, rba())
+        assert base / fast > 1.08
+
+    def test_rba_beats_fully_connected_on_cugraph(self):
+        k = get_kernel("cg-lou")
+        assert cycles(k, rba()) < cycles(k, fully_connected())
+
+    def test_rba_harmless_on_insensitive_app(self):
+        k = get_kernel("pb-stencil")
+        base, fast = cycles(k, volta_v100()), cycles(k, rba())
+        assert abs(base / fast - 1.0) < 0.05
+
+    def test_bank_stealing_is_marginal(self):
+        k = get_kernel("cg-lou")
+        base, steal = cycles(k, volta_v100()), cycles(k, bank_stealing())
+        assert abs(base / steal - 1.0) < 0.06
+
+    def test_rba_reduces_bank_conflict_pressure(self):
+        k = get_kernel("cg-lou")
+        base = simulate(k, volta_v100(), num_sms=1)
+        fast = simulate(k, rba(), num_sms=1)
+        # Same reads, fewer cycles -> higher reads/cycle utilization.
+        assert fast.rf_reads_per_cycle() > base.rf_reads_per_cycle()
+
+
+class TestTPCHHeadline:
+    """Sec. VI-C: TPC-H gains from assignment, not from RBA."""
+
+    def test_srr_speeds_up_divergent_query(self):
+        k = get_kernel("tpcU-q8")
+        base, fast = cycles(k, volta_v100()), cycles(k, srr())
+        assert base / fast > 1.10
+
+    def test_rba_barely_helps_tpch(self):
+        k = get_kernel("tpcU-q8")
+        base, fast = cycles(k, volta_v100()), cycles(k, rba())
+        assert abs(base / fast - 1.0) < 0.06
+
+    def test_srr_collapses_issue_cov(self):
+        k = get_kernel("tpcU-q8")
+        base = simulate(k, volta_v100(), num_sms=1)
+        fixed = simulate(k, srr(), num_sms=1)
+        assert base.issue_cov() > 0.6
+        assert fixed.issue_cov() < 0.15
+
+    def test_assignment_neutral_on_balanced_apps(self):
+        k = get_kernel("pb-stencil")
+        base = cycles(k, volta_v100())
+        assert abs(base / cycles(k, srr()) - 1.0) < 0.05
+        assert abs(base / cycles(k, shuffle()) - 1.0) < 0.05

@@ -1,0 +1,117 @@
+"""Unit tests for the ISA layer."""
+
+import pytest
+
+from repro.isa import (
+    MAX_SRC_OPERANDS,
+    FuncUnit,
+    Instruction,
+    MemRef,
+    Opcode,
+    bar,
+    exit_,
+    fadd,
+    ffma,
+    iadd,
+    ldg,
+    stg,
+)
+
+
+class TestOpcodes:
+    def test_unit_classes(self):
+        assert Opcode.FFMA.unit is FuncUnit.FP32
+        assert Opcode.IMAD.unit is FuncUnit.INT
+        assert Opcode.MUFU.unit is FuncUnit.SFU
+        assert Opcode.HMMA.unit is FuncUnit.TENSOR
+        assert Opcode.LDG.unit is FuncUnit.LDST
+
+    def test_memory_flags(self):
+        assert Opcode.LDG.is_memory and Opcode.LDG.is_global_memory
+        assert Opcode.LDS.is_memory and Opcode.LDS.is_shared_memory
+        assert not Opcode.FFMA.is_memory
+
+    def test_control_flags(self):
+        assert Opcode.BAR.is_barrier
+        assert Opcode.EXIT.is_exit
+        assert not Opcode.BAR.is_exit
+
+    def test_latencies_positive(self):
+        for op in Opcode:
+            assert op.latency >= 0
+            assert op.initiation_interval >= 1
+
+    def test_arithmetic_latency_is_short(self):
+        # Volta dependent-issue latency for core FP is 4 cycles.
+        assert Opcode.FFMA.latency == 4
+        assert Opcode.FADD.latency == 4
+
+
+class TestInstruction:
+    def test_ffma_constructor(self):
+        inst = ffma(0, 1, 2, 3)
+        assert inst.dst_reg == 0
+        assert inst.src_regs == (1, 2, 3)
+        assert inst.num_src_operands == 3
+        assert inst.reads_register_file
+        assert inst.writes_register_file
+
+    def test_registers_includes_dst(self):
+        assert ffma(9, 1, 2, 3).registers() == (1, 2, 3, 9)
+        assert bar().registers() == ()
+
+    def test_too_many_operands_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.FFMA, dst_reg=0, src_regs=(1, 2, 3, 4))
+        assert MAX_SRC_OPERANDS == 3
+
+    def test_negative_register_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.FADD, dst_reg=-1, src_regs=(0,))
+        with pytest.raises(ValueError):
+            Instruction(Opcode.FADD, dst_reg=0, src_regs=(-2,))
+
+    def test_global_load_requires_memref(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.LDG, dst_reg=0, src_regs=(1,))
+
+    def test_memref_only_on_memory_ops(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.FADD, dst_reg=0, src_regs=(1,), mem=MemRef(0))
+
+    def test_ldg_constructor(self):
+        inst = ldg(dst=5, addr_reg=1, base_address=4096, num_lines=4)
+        assert inst.mem.num_lines == 4
+        assert not inst.mem.is_store
+        assert inst.reads_register_file
+
+    def test_stg_has_no_destination(self):
+        inst = stg(data_reg=2, addr_reg=1, base_address=0)
+        assert inst.dst_reg is None
+        assert inst.mem.is_store
+        assert not inst.writes_register_file
+
+    def test_barrier_does_not_touch_register_file(self):
+        assert not bar().reads_register_file
+        assert not exit_().reads_register_file
+
+    def test_instructions_are_frozen_and_hashable(self):
+        a, b = fadd(0, 1, 2), fadd(0, 1, 2)
+        assert a == b and hash(a) == hash(b)
+
+    def test_str_rendering(self):
+        assert "FFMA" in str(ffma(0, 1, 2, 3))
+        assert "IADD" in str(iadd(0, 1, 2))
+
+
+class TestMemRef:
+    def test_num_lines_bounds(self):
+        with pytest.raises(ValueError):
+            MemRef(0, num_lines=0)
+        with pytest.raises(ValueError):
+            MemRef(0, num_lines=33)
+        assert MemRef(0, num_lines=32).num_lines == 32
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            MemRef(-128)

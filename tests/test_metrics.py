@@ -1,0 +1,123 @@
+"""Tests for statistics and analysis helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    SimStats,
+    SMStats,
+    coefficient_of_variation,
+    geomean,
+    mean,
+    mean_absolute_error,
+    percent_speedup,
+    speedup,
+    speedup_table,
+)
+
+
+def make_stats(cycles=100, instructions=200, issue_counts=(50, 50, 50, 50)):
+    sm = SMStats(
+        sm_id=0,
+        instructions=instructions,
+        issue_counts=list(issue_counts),
+        rf_reads=300,
+        bank_conflict_cycles=10,
+        ctas_completed=1,
+        issue_stall_no_cu=5,
+        issue_stall_no_ready=2,
+        steals=0,
+    )
+    return SimStats(
+        kernel_name="k", config_name="c", cycles=cycles,
+        instructions=instructions, sms=[sm],
+    )
+
+
+class TestSMStats:
+    def test_cov_balanced(self):
+        sm = make_stats().sms[0]
+        assert sm.issue_cov() == 0.0
+
+    def test_cov_imbalanced(self):
+        s = make_stats(issue_counts=(100, 0, 0, 0)).sms[0]
+        # values [100,0,0,0]: mean 25, std sqrt(3*625+5625)/2
+        assert s.issue_cov() == pytest.approx(np.std([100, 0, 0, 0]) / 25.0)
+
+    def test_cov_zero_issue(self):
+        s = make_stats(issue_counts=(0, 0, 0, 0)).sms[0]
+        assert s.issue_cov() == 0.0
+
+
+class TestSimStats:
+    def test_ipc(self):
+        assert make_stats(cycles=100, instructions=200).ipc == 2.0
+
+    def test_ipc_zero_cycles(self):
+        assert make_stats(cycles=0).ipc == 0.0
+
+    def test_rf_reads_per_cycle(self):
+        s = make_stats(cycles=100)
+        assert s.rf_reads_per_cycle() == 3.0
+
+    def test_issue_cov_skips_idle_sms(self):
+        s = make_stats()
+        idle = SMStats(
+            sm_id=1, instructions=0, issue_counts=[0, 0, 0, 0], rf_reads=0,
+            bank_conflict_cycles=0, ctas_completed=0, issue_stall_no_cu=0,
+            issue_stall_no_ready=0, steals=0,
+        )
+        s.sms.append(idle)
+        assert s.issue_cov() == 0.0
+
+
+class TestAnalysis:
+    def test_speedup(self):
+        base, fast = make_stats(cycles=200), make_stats(cycles=100)
+        assert speedup(base, fast) == 2.0
+        assert percent_speedup(base, fast) == pytest.approx(100.0)
+
+    def test_speedup_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(make_stats(cycles=10), make_stats(cycles=0))
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0]) == pytest.approx(2.0)
+
+    def test_geomean_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_geomean_never_exceeds_max(self):
+        vals = [1.1, 1.5, 0.9, 2.0]
+        g = geomean(vals)
+        assert min(vals) <= g <= max(vals)
+
+    def test_mean(self):
+        assert mean([1.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_cov(self):
+        assert coefficient_of_variation([5, 5, 5, 5]) == 0.0
+        assert coefficient_of_variation([0, 0, 0, 0]) == 0.0
+        v = coefficient_of_variation([8, 8, 8, 80])
+        assert v == pytest.approx(np.std([8, 8, 8, 80]) / 26.0)
+
+    def test_mae(self):
+        assert mean_absolute_error([100, 100], [116, 84]) == pytest.approx(16.0)
+        with pytest.raises(ValueError):
+            mean_absolute_error([1, 2], [1])
+        with pytest.raises(ValueError):
+            mean_absolute_error([0], [1])
+
+    def test_speedup_table(self):
+        base = {"a": 100, "b": 200}
+        designs = {"x": {"a": 50, "b": 100}}
+        rows = speedup_table(base, designs)
+        assert rows == [("a", {"x": 2.0}), ("b", {"x": 2.0})]

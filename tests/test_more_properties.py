@@ -1,0 +1,95 @@
+"""Additional property-based tests over the trace and viz layers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Instruction, MemRef, Opcode
+from repro.trace import dump_kernel, make_kernel, parse_kernel
+from repro.trace.warp_trace import WarpTrace
+from repro.viz import hbar, histogram, sparkline
+
+ARITH = [Opcode.FADD, Opcode.FMUL, Opcode.FFMA, Opcode.IADD, Opcode.IMAD, Opcode.SHF]
+
+
+@st.composite
+def instructions(draw):
+    kind = draw(st.sampled_from(["arith", "ldg", "stg", "lds", "bar"]))
+    if kind == "arith":
+        op = draw(st.sampled_from(ARITH))
+        n = draw(st.integers(min_value=1, max_value=3))
+        srcs = tuple(draw(st.integers(min_value=0, max_value=31)) for _ in range(n))
+        return Instruction(op, dst_reg=draw(st.integers(min_value=0, max_value=31)),
+                           src_regs=srcs)
+    if kind == "ldg":
+        return Instruction(
+            Opcode.LDG,
+            dst_reg=draw(st.integers(min_value=0, max_value=31)),
+            src_regs=(draw(st.integers(min_value=0, max_value=31)),),
+            mem=MemRef(
+                base_address=draw(st.integers(min_value=0, max_value=1 << 20)) * 128,
+                num_lines=draw(st.integers(min_value=1, max_value=8)),
+            ),
+        )
+    if kind == "stg":
+        return Instruction(
+            Opcode.STG,
+            src_regs=(
+                draw(st.integers(min_value=0, max_value=31)),
+                draw(st.integers(min_value=0, max_value=31)),
+            ),
+            mem=MemRef(
+                base_address=draw(st.integers(min_value=0, max_value=1 << 20)) * 128,
+                num_lines=draw(st.integers(min_value=1, max_value=4)),
+                is_store=True,
+            ),
+        )
+    if kind == "lds":
+        return Instruction(
+            Opcode.LDS,
+            dst_reg=draw(st.integers(min_value=0, max_value=31)),
+            src_regs=(draw(st.integers(min_value=0, max_value=31)),),
+        )
+    return Instruction(Opcode.BAR)
+
+
+@given(
+    bodies=st.lists(
+        st.lists(instructions(), min_size=0, max_size=12),
+        min_size=1,
+        max_size=4,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_text_format_round_trips_any_kernel(bodies):
+    warps = [WarpTrace.from_instructions(b) for b in bodies]
+    kernel = make_kernel("prop", warps, num_ctas=2)
+    again = parse_kernel(dump_kernel(kernel))
+    assert again.num_ctas == kernel.num_ctas
+    for w1, w2 in zip(kernel.ctas[0].warps, again.ctas[0].warps):
+        assert w1.instructions == w2.instructions
+
+
+@given(
+    values=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=64),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_viz_total_counts_conserved(values):
+    text = histogram("h", values, bins=6)
+    counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()[2:]]
+    assert sum(counts) == len(values)
+
+
+@given(
+    value=st.floats(min_value=0, max_value=100),
+    vmax=st.floats(min_value=0.1, max_value=100),
+    width=st.integers(min_value=1, max_value=60),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_hbar_never_exceeds_width(value, vmax, width):
+    assert len(hbar(value, vmax, width)) <= width
+
+
+@given(values=st.lists(st.floats(min_value=0, max_value=1e3), min_size=1, max_size=50))
+@settings(max_examples=40, deadline=None)
+def test_property_sparkline_length(values):
+    assert len(sparkline(values)) == len(values)

@@ -1,0 +1,64 @@
+"""Tests for the analytical area/power model (Fig. 13)."""
+
+import pytest
+
+from repro.config import rba as rba_preset
+from repro.config import volta_v100, with_cus
+from repro.power import Cost, DesignPoint, config_cost, crossbar, flops, normalized_costs, sram
+
+
+class TestComponents:
+    def test_cost_addition_and_scaling(self):
+        c = Cost(1.0, 2.0) + Cost(3.0, 4.0)
+        assert c.area == 4.0 and c.power == 6.0
+        s = c.scaled(2.0)
+        assert s.area == 8.0 and s.power == 12.0
+
+    def test_sram_linear_in_bits(self):
+        assert sram(200).area == 2 * sram(100).area
+
+    def test_crossbar_quadratic_in_ports(self):
+        small = crossbar(2, 6, 32)
+        big = crossbar(4, 12, 32)
+        assert big.area == pytest.approx(4 * small.area)
+
+    def test_activity_scales_power_not_area(self):
+        lo, hi = flops(100, activity=0.1), flops(100, activity=1.0)
+        assert lo.area == hi.area
+        assert lo.power < hi.power
+
+
+class TestDesignModel:
+    def test_more_cus_cost_more(self):
+        costs = [DesignPoint(f"{n}cu", collector_units=n).cost() for n in (2, 4, 8)]
+        assert costs[0].area < costs[1].area < costs[2].area
+        assert costs[0].power < costs[1].power < costs[2].power
+
+    def test_rba_overhead_is_tiny(self):
+        base = DesignPoint("b", collector_units=2).cost()
+        rba = DesignPoint("r", collector_units=2, rba=True).cost()
+        assert 1.0 < rba.area / base.area < 1.01
+        assert 1.0 < rba.power / base.power < 1.01
+
+    def test_fig13_paper_anchors(self):
+        costs = normalized_costs()
+        assert costs["2cu-baseline"]["area"] == 1.0
+        # paper: 4 CUs -> +27% area, +60% power (we accept a small window)
+        assert 1.20 <= costs["4cu"]["area"] <= 1.35
+        assert 1.45 <= costs["4cu"]["power"] <= 1.75
+        # paper: RBA ~1% in both
+        assert costs["2cu+rba"]["area"] <= 1.01
+        assert costs["2cu+rba"]["power"] <= 1.01
+
+    def test_config_cost_reads_config(self):
+        base = config_cost(volta_v100())
+        more = config_cost(with_cus(4))
+        assert more.area > base.area
+        rba_cost = config_cost(rba_preset())
+        assert rba_cost.area > base.area
+        assert rba_cost.area / base.area < 1.01
+
+    def test_bank_scaling_costs(self):
+        two = DesignPoint("2b", collector_units=2, rf_banks=2).cost()
+        four = DesignPoint("4b", collector_units=2, rf_banks=4).cost()
+        assert four.area > two.area

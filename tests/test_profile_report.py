@@ -1,0 +1,67 @@
+"""Tests for the profiler report module."""
+
+import pytest
+
+from repro import rba, simulate, volta_v100
+from repro.metrics import SimStats, SMStats, compare_report, profile_report
+from repro.workloads import fma_microbenchmark
+
+
+def run(kernel, cfg):
+    return simulate(kernel, cfg, num_sms=1)
+
+
+@pytest.fixture(scope="module")
+def baseline_stats():
+    return run(fma_microbenchmark("unbalanced", fmas=64), volta_v100())
+
+
+class TestProfileReport:
+    def test_header_and_throughput(self, baseline_stats):
+        text = profile_report(baseline_stats)
+        assert "fma-unbalanced" in text
+        assert "IPC" in text
+        assert "cycles" in text
+
+    def test_issue_balance_shown(self, baseline_stats):
+        text = profile_report(baseline_stats)
+        assert "per-sub-core issue" in text
+        assert "CoV" in text
+
+    def test_divergence_callout(self, baseline_stats):
+        # the unbalanced layout has a large warp-finish spread
+        assert "inter-warp divergence" in profile_report(baseline_stats)
+
+    def test_no_memory_section_for_compute_kernel(self, baseline_stats):
+        assert "no global accesses" in profile_report(baseline_stats)
+
+    def test_memory_section_when_loads_present(self):
+        from repro.trace import TraceBuilder, make_kernel
+
+        tb = TraceBuilder()
+        for i in range(8):
+            tb.global_load(1, 0, i * 8192, num_lines=2)
+        stats = run(make_kernel("mem", [tb.build()]), volta_v100())
+        text = profile_report(stats)
+        assert "L1" in text and "DRAM accesses" in text
+
+    def test_idle_sms_hidden_by_default(self):
+        stats = simulate(fma_microbenchmark("baseline", fmas=16), volta_v100(), num_sms=4)
+        text = profile_report(stats)
+        assert text.count("SM ") == 1
+        shown = profile_report(stats, show_idle_sms=True)
+        assert shown.count("SM ") == 4
+
+
+class TestCompareReport:
+    def test_speedup_and_metrics(self, baseline_stats):
+        k = fma_microbenchmark("unbalanced", fmas=64)
+        better = run(k, rba())
+        text = compare_report(baseline_stats, better)
+        assert "speedup" in text
+        assert "bank-conflict cycles" in text
+
+    def test_rejects_different_kernels(self, baseline_stats):
+        other = run(fma_microbenchmark("baseline", fmas=16), volta_v100())
+        with pytest.raises(ValueError):
+            compare_report(baseline_stats, other)

@@ -1,0 +1,129 @@
+"""Tests for bank mappings and the conflict-aware register allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Instruction, Opcode, ffma
+from repro.regalloc import (
+    MAPPINGS,
+    ConflictAwareAllocator,
+    get_mapping,
+    mod_mapping,
+    scrambled_mapping,
+    warp_swizzle_mapping,
+)
+from repro.trace import WarpTrace
+
+
+class TestBankMappings:
+    def test_mod_mapping(self):
+        assert mod_mapping(0, 0, 2) == 0
+        assert mod_mapping(5, 0, 2) == 1
+        assert mod_mapping(5, 0, 4) == 1
+
+    def test_warp_swizzle_shifts_by_warp(self):
+        assert warp_swizzle_mapping(0, 0, 2) == 0
+        assert warp_swizzle_mapping(0, 1, 2) == 1
+        assert warp_swizzle_mapping(3, 1, 4) == 0
+
+    def test_get_mapping_unknown(self):
+        with pytest.raises(KeyError, match="options"):
+            get_mapping("nope")
+
+    def test_registry_contents(self):
+        assert set(MAPPINGS) == {"mod", "warp_swizzle", "scrambled"}
+
+    @given(
+        reg=st.integers(min_value=0, max_value=255),
+        warp=st.integers(min_value=0, max_value=63),
+        banks=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_all_mappings_in_range(self, reg, warp, banks):
+        for mapper in MAPPINGS.values():
+            assert 0 <= mapper(reg, warp, banks) < banks
+
+    def test_scrambled_is_deterministic(self):
+        assert scrambled_mapping(7, 3, 4) == scrambled_mapping(7, 3, 4)
+
+
+def _trace(instrs):
+    return WarpTrace.from_instructions(instrs)
+
+
+class TestConflictAwareAllocator:
+    def test_rejects_bad_banks(self):
+        with pytest.raises(ValueError):
+            ConflictAwareAllocator(0)
+
+    def test_fixes_trivial_conflict(self):
+        # Both sources even -> same bank under mod; allocator should split.
+        tr = _trace([Instruction(Opcode.FADD, dst_reg=1, src_regs=(0, 2))])
+        alloc = ConflictAwareAllocator(2, "mod")
+        assert alloc.conflict_cost(tr) == 1
+        assert alloc.conflict_cost(alloc.allocate(tr)) == 0
+
+    def test_three_operand_floor(self):
+        # 3 operands over 2 banks always leave >= 1 same-bank pair.
+        tr = _trace([ffma(3, 0, 2, 4)])
+        alloc = ConflictAwareAllocator(2, "mod")
+        assert alloc.conflict_cost(alloc.allocate(tr)) == 1
+
+    def test_never_increases_cost(self):
+        tr = _trace(
+            [
+                Instruction(Opcode.FADD, dst_reg=6, src_regs=(0, 2)),
+                Instruction(Opcode.FADD, dst_reg=7, src_regs=(2, 4)),
+                ffma(8, 0, 2, 4),
+            ]
+        )
+        alloc = ConflictAwareAllocator(2, "mod")
+        assert alloc.conflict_cost(alloc.allocate(tr)) <= alloc.conflict_cost(tr)
+
+    def test_renaming_is_bijective(self):
+        tr = _trace([ffma(3, 0, 1, 2), ffma(4, 1, 2, 3)])
+        alloc = ConflictAwareAllocator(2, "mod")
+        rename = alloc.build_renaming(tr)
+        assert len(set(rename.values())) == len(rename)
+        assert set(rename) == {0, 1, 2, 3, 4}
+
+    def test_preserves_structure(self):
+        tr = _trace([ffma(3, 0, 1, 2), Instruction(Opcode.BAR)])
+        out = ConflictAwareAllocator(2, "mod").allocate(tr)
+        assert len(out) == len(tr)
+        assert [i.opcode for i in out.instructions] == [i.opcode for i in tr.instructions]
+        # dataflow preserved: src j of inst i maps consistently
+        rename = ConflictAwareAllocator(2, "mod").build_renaming(tr)
+        assert out.instructions[0].src_regs == tuple(
+            rename[r] for r in tr.instructions[0].src_regs
+        )
+
+    def test_empty_trace_unchanged(self):
+        tr = WarpTrace.from_instructions([])
+        out = ConflictAwareAllocator(2).allocate(tr)
+        assert len(out) == 1
+
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        banks=st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_cost_never_worse_and_bijective(self, seed, banks):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        instrs = []
+        for _ in range(20):
+            k = int(rng.integers(1, 4))
+            srcs = tuple(int(x) for x in rng.integers(0, 12, size=k))
+            instrs.append(
+                Instruction(Opcode.FFMA if k == 3 else Opcode.FADD,
+                            dst_reg=int(rng.integers(0, 12)), src_regs=srcs)
+            )
+        tr = _trace(instrs)
+        alloc = ConflictAwareAllocator(banks, "mod")
+        out = alloc.allocate(tr)
+        assert alloc.conflict_cost(out) <= alloc.conflict_cost(tr)
+        rename = alloc.build_renaming(tr)
+        assert len(set(rename.values())) == len(rename)

@@ -1,0 +1,202 @@
+"""Tests for SM-level behaviour: CTA admission, resource lifecycle,
+sub-core integration."""
+
+import pytest
+
+from repro.config import volta_v100
+from repro.core import StreamingMultiprocessor
+from repro.memory import MemorySubsystem
+from repro.trace import CTATrace, KernelTrace, TraceBuilder, WarpTrace, make_kernel
+from repro.workloads import fma_microbenchmark
+
+from tests.conftest import fma_warp, independent_warp
+
+
+def make_sm(config=None, collect_timeline=False):
+    cfg = config if config is not None else volta_v100()
+    return StreamingMultiprocessor(
+        0, cfg, MemorySubsystem(cfg), collect_timeline=collect_timeline
+    )
+
+
+def run_sm_to_completion(sm, max_cycles=200_000):
+    now = 0
+    while sm.resident_ctas:
+        sm.step(now)
+        nxt = sm.next_event(now)
+        if nxt is None:
+            if sm.resident_ctas:
+                raise AssertionError("SM deadlocked")
+            break
+        now = max(now + 1, nxt)
+        assert now < max_cycles, "runaway simulation"
+    return now
+
+
+def kernel_of(warps, num_ctas=1, regs_per_thread=None, shared=0):
+    return make_kernel(
+        "k", warps, num_ctas=num_ctas, regs_per_thread=regs_per_thread,
+        shared_mem_per_cta=shared,
+    )
+
+
+class TestCTAAdmission:
+    def test_allocates_and_assigns_round_robin(self):
+        sm = make_sm()
+        k = kernel_of([fma_warp(4) for _ in range(8)])
+        assert sm.try_allocate_cta(k, k.ctas[0], cta_id=0, now=0)
+        occ = sm.occupancy()
+        assert occ == {0: 2, 1: 2, 2: 2, 3: 2}
+
+    def test_rejects_when_warp_slots_exhausted(self):
+        sm = make_sm()
+        k = kernel_of([fma_warp(4) for _ in range(32)], regs_per_thread=8)
+        assert sm.try_allocate_cta(k, k.ctas[0], 0, 0)
+        assert sm.try_allocate_cta(k, k.ctas[0], 1, 0)
+        # 64 warp slots used; a third CTA cannot fit
+        assert not sm.try_allocate_cta(k, k.ctas[0], 2, 0)
+
+    def test_rejects_on_shared_memory(self):
+        sm = make_sm()
+        k = kernel_of([fma_warp(4)], shared=96 * 1024)
+        assert sm.try_allocate_cta(k, k.ctas[0], 0, 0)
+        assert not sm.try_allocate_cta(k, k.ctas[0], 1, 0)
+
+    def test_rejects_on_registers(self):
+        sm = make_sm()
+        # 255 regs/thread x 32 warps x 32 threads ≈ 261k of 262k regs
+        k = kernel_of([fma_warp(4) for _ in range(32)], regs_per_thread=255)
+        assert sm.try_allocate_cta(k, k.ctas[0], 0, 0)
+        assert not sm.try_allocate_cta(k, k.ctas[0], 1, 0)
+
+    def test_rejects_on_max_ctas(self):
+        cfg = volta_v100().replace(max_ctas_per_sm=1)
+        sm = make_sm(cfg)
+        k = kernel_of([fma_warp(4)])
+        assert sm.try_allocate_cta(k, k.ctas[0], 0, 0)
+        assert not sm.try_allocate_cta(k, k.ctas[0], 1, 0)
+
+    def test_failed_admission_does_not_advance_assignment(self):
+        cfg = volta_v100().replace(max_ctas_per_sm=1)
+        sm = make_sm(cfg)
+        k = kernel_of([fma_warp(4) for _ in range(3)])
+        sm.try_allocate_cta(k, k.ctas[0], 0, 0)
+        before = sm.assignment.warps_allocated
+        sm.try_allocate_cta(k, k.ctas[0], 1, 0)
+        assert sm.assignment.warps_allocated == before
+
+    def test_can_ever_fit(self):
+        sm = make_sm()
+        small = kernel_of([fma_warp(4)])
+        assert sm.can_ever_fit(small, small.ctas[0])
+        huge = kernel_of([fma_warp(4)], shared=1 << 30)
+        assert not sm.can_ever_fit(huge, huge.ctas[0])
+
+
+class TestResourceLifecycle:
+    def test_resources_released_only_at_cta_completion(self):
+        sm = make_sm()
+        k = kernel_of([fma_warp(8) for _ in range(8)], shared=1024)
+        sm.try_allocate_cta(k, k.ctas[0], 0, 0)
+        assert sm.shared_mem_used == 1024
+        run_sm_to_completion(sm)
+        assert sm.shared_mem_used == 0
+        assert sm.ctas_completed == 1
+        assert sm.resources_freed
+        assert all(len(sc.warps) == 0 for sc in sm.subcores)
+        assert all(sc.registers_used == 0 for sc in sm.subcores)
+
+    def test_warp_finish_cycles_recorded(self):
+        sm = make_sm()
+        k = kernel_of([fma_warp(8) for _ in range(4)])
+        sm.try_allocate_cta(k, k.ctas[0], 0, 0)
+        run_sm_to_completion(sm)
+        assert len(sm.warp_finish_cycles) == 4
+        assert len(sm.cta_latencies) == 1
+
+    def test_issue_counts_by_subcore(self):
+        sm = make_sm()
+        k = kernel_of([fma_warp(16) for _ in range(4)])
+        sm.try_allocate_cta(k, k.ctas[0], 0, 0)
+        run_sm_to_completion(sm)
+        counts = sm.issue_counts()
+        assert len(counts) == 4
+        # one warp per sub-core, 16 FMAs + EXIT each
+        assert all(c == 17 for c in counts)
+        assert sm.total_instructions == 68
+
+
+class TestExecutionBehaviour:
+    def test_barrier_synchronizes_whole_cta(self):
+        sm = make_sm()
+        # one long warp, three short; all barrier at the end
+        warps = [
+            TraceBuilder().fma_chain(64).barrier().build(),
+            TraceBuilder().barrier().build(),
+            TraceBuilder().barrier().build(),
+            TraceBuilder().barrier().build(),
+        ]
+        k = kernel_of(warps)
+        sm.try_allocate_cta(k, k.ctas[0], 0, 0)
+        run_sm_to_completion(sm)
+        finishes = sorted(sm.warp_finish_cycles)
+        # Nobody exits much earlier than the long warp: the spread is only
+        # the long warp's writeback drain, not the 64-FMA chain (~400 cycles).
+        assert finishes[-1] - finishes[0] <= 16
+
+    def test_timeline_collection(self):
+        sm = make_sm(collect_timeline=True)
+        k = kernel_of([independent_warp(16) for _ in range(4)])
+        sm.try_allocate_cta(k, k.ctas[0], 0, 0)
+        run_sm_to_completion(sm)
+        assert sm.rf_read_timeline
+        total_grants = sum(g for _, g in sm.rf_read_timeline)
+        assert total_grants == sm.total_rf_reads()
+        # 16 instructions x 2 sources x 4 warps
+        assert total_grants == 128
+
+    def test_next_event_idle_sm(self):
+        sm = make_sm()
+        assert sm.next_event(0) is None
+
+    def test_bank_conflict_cycles_counted(self):
+        cfg = volta_v100().replace(bank_mapping="mod")
+        sm = make_sm(cfg)
+        # every instruction reads two even registers -> same bank
+        from repro.isa import Instruction, Opcode
+
+        body = [
+            Instruction(Opcode.FADD, dst_reg=9 + (i % 4), src_regs=(0, 2))
+            for i in range(16)
+        ]
+        k = kernel_of([WarpTrace.from_instructions(body)])
+        sm.try_allocate_cta(k, k.ctas[0], 0, 0)
+        run_sm_to_completion(sm)
+        assert sm.total_bank_conflict_cycles() > 0
+
+
+class TestFullyConnectedSM:
+    def test_single_domain_holds_all_warps(self):
+        from repro.config import fully_connected
+
+        cfg = fully_connected()
+        sm = make_sm(cfg)
+        k = kernel_of([fma_warp(4) for _ in range(8)])
+        assert sm.try_allocate_cta(k, k.ctas[0], 0, 0)
+        assert sm.occupancy() == {0: 8}
+
+    def test_unbalanced_fma_has_no_penalty(self):
+        from repro.config import fully_connected
+
+        base_k = fma_microbenchmark("baseline", fmas=64)
+        unb_k = fma_microbenchmark("unbalanced", fmas=64)
+        cfg = fully_connected()
+        t_base = run_one(cfg, base_k)
+        t_unb = run_one(cfg, unb_k)
+        assert t_unb / t_base < 1.2
+
+
+def run_one(cfg, kernel):
+    sm = make_sm(cfg)
+    sm.try_allocate_cta(kernel, kernel.ctas[0], 0, 0)
+    return run_sm_to_completion(sm)

@@ -1,0 +1,168 @@
+"""Tests for the sub-core warp-assignment policies (Sec. IV-B)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AssignmentPolicy, volta_v100
+from repro.core import (
+    HashTableAssignment,
+    RoundRobinAssignment,
+    ShuffleAssignment,
+    SRRAssignment,
+    make_assignment,
+)
+
+
+class TestRoundRobin:
+    def test_cycles_through_subcores(self):
+        rr = RoundRobinAssignment(4)
+        assert rr.plan(8) == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_state_persists_across_ctas(self):
+        rr = RoundRobinAssignment(4)
+        rr.commit(3)
+        assert rr.plan(2) == [3, 0]
+
+    def test_plan_without_commit_is_pure(self):
+        rr = RoundRobinAssignment(4)
+        assert rr.plan(4) == rr.plan(4)
+
+    def test_pathology_every_fourth_warp_lands_together(self):
+        # The unbalanced-FMA pathology: warps 0,4,8,... all on sub-core 0.
+        rr = RoundRobinAssignment(4)
+        plan = rr.plan(32)
+        assert all(plan[i] == 0 for i in range(0, 32, 4))
+
+
+class TestSRR:
+    def test_matches_paper_equation(self):
+        srr = SRRAssignment(4)
+        for w in range(64):
+            assert srr.subcore_for(w) == (w + w // 4) % 4
+
+    def test_spreads_every_fourth_warp(self):
+        # SRR was crafted so the long warps (every 4th) spread evenly.
+        srr = SRRAssignment(4)
+        plan = srr.plan(32)
+        long_warps = [plan[i] for i in range(0, 32, 4)]
+        assert Counter(long_warps) == {0: 2, 1: 2, 2: 2, 3: 2}
+
+    def test_counts_stay_even(self):
+        srr = SRRAssignment(4)
+        counts = Counter(srr.plan(64))
+        assert set(counts.values()) == {16}
+
+    def test_pattern_repeats_every_16(self):
+        srr = SRRAssignment(4)
+        plan = srr.plan(32)
+        assert plan[:16] == plan[16:]
+
+
+class TestShuffle:
+    def test_group_balance_exact(self):
+        sh = ShuffleAssignment(4, table_entries=4, seed=7)
+        plan = sh.plan(16)
+        for g in range(4):
+            group = plan[g * 4 : (g + 1) * 4]
+            assert sorted(group) == [0, 1, 2, 3]
+
+    def test_counts_never_differ_by_more_than_one(self):
+        sh = ShuffleAssignment(4, table_entries=4, seed=3)
+        for n in (5, 13, 27, 63):
+            counts = Counter(sh.plan(n))
+            values = [counts.get(s, 0) for s in range(4)]
+            assert max(values) - min(values) <= 1
+
+    def test_deterministic_by_seed(self):
+        a = ShuffleAssignment(4, seed=11).plan(32)
+        b = ShuffleAssignment(4, seed=11).plan(32)
+        c = ShuffleAssignment(4, seed=12).plan(32)
+        assert a == b
+        assert a != c  # overwhelmingly likely
+
+    def test_4_entry_table_wraps(self):
+        sh = ShuffleAssignment(4, table_entries=4, seed=1)
+        plan = sh.plan(32)
+        assert plan[:16] == plan[16:]
+
+    def test_16_entry_table_covers_64_warps(self):
+        sh = ShuffleAssignment(4, table_entries=16, seed=1)
+        plan = sh.plan(128)
+        assert plan[:64] == plan[64:]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShuffleAssignment(4, table_entries=0)
+
+
+class TestHashTable:
+    def test_custom_table(self):
+        ht = HashTableAssignment(2, table=[[0, 0], [1, 1]])
+        assert ht.plan(8) == [0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_rejects_wrong_entry_width(self):
+        with pytest.raises(ValueError):
+            HashTableAssignment(4, table=[[0, 1]])
+
+    def test_rejects_invalid_subcore(self):
+        with pytest.raises(ValueError):
+            HashTableAssignment(2, table=[[0, 5]])
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            HashTableAssignment(2, table=[])
+
+    def test_unbalanced_tables_allowed(self):
+        ht = HashTableAssignment(4, table=[[0, 0, 0, 0]])
+        assert set(ht.plan(8)) == {0}
+
+
+class TestFactory:
+    def test_dispatch(self):
+        assert isinstance(make_assignment(volta_v100()), RoundRobinAssignment)
+        assert isinstance(
+            make_assignment(volta_v100().replace(assignment=AssignmentPolicy.SRR)),
+            SRRAssignment,
+        )
+        sh = make_assignment(
+            volta_v100().replace(
+                assignment=AssignmentPolicy.SHUFFLE, hash_table_entries=16
+            )
+        )
+        assert isinstance(sh, ShuffleAssignment)
+        assert sh.table_entries == 16
+
+    def test_hash_table_policy_needs_explicit_table(self):
+        cfg = volta_v100().replace(assignment=AssignmentPolicy.HASH_TABLE)
+        with pytest.raises(ValueError):
+            make_assignment(cfg)
+
+    def test_reset(self):
+        rr = RoundRobinAssignment(4)
+        rr.commit(5)
+        rr.reset()
+        assert rr.plan(1) == [0]
+
+
+@given(
+    n_subcores=st.sampled_from([1, 2, 4, 8]),
+    n_warps=st.integers(min_value=1, max_value=200),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_all_policies_balanced_and_in_range(n_subcores, n_warps, seed):
+    policies = [
+        RoundRobinAssignment(n_subcores),
+        SRRAssignment(n_subcores),
+        ShuffleAssignment(n_subcores, seed=seed),
+    ]
+    for policy in policies:
+        plan = policy.plan(n_warps)
+        assert len(plan) == n_warps
+        assert all(0 <= s < n_subcores for s in plan)
+        counts = Counter(plan)
+        values = [counts.get(s, 0) for s in range(n_subcores)]
+        assert max(values) - min(values) <= 1

@@ -1,0 +1,95 @@
+"""Registry-wide workload validation.
+
+Each suite's profiles must statically stress the bottleneck the paper
+attributes to it — this is the guard that keeps the 112-app population
+meaningful as the generator evolves.
+"""
+
+import pytest
+
+from repro.workloads import (
+    RF_SENSITIVE_APPS,
+    app_names,
+    characterize,
+    get_kernel,
+    get_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def char():
+    cache = {}
+
+    def get(app):
+        if app not in cache:
+            cache[app] = characterize(get_kernel(app))
+        return cache[app]
+
+    return get
+
+
+class TestTPCHCharacteristics:
+    def test_every_query_diverges(self, char):
+        for app in app_names("tpch-uncompressed") + app_names("tpch-compressed"):
+            c = char(app)
+            assert c.interwarp_divergence > 1.8, app
+
+    def test_compressed_diverges_more(self, char):
+        for q in (3, 9, 15):
+            comp = char(f"tpcC-q{q}").interwarp_divergence
+            uncomp = char(f"tpcU-q{q}").interwarp_divergence
+            assert comp > uncomp
+
+    def test_queries_triage_as_imbalance(self, char):
+        hits = sum(
+            1
+            for app in app_names("tpch-uncompressed")
+            if char(app).dominant_effect() == "issue-imbalance"
+        )
+        assert hits == 22
+
+
+class TestCuGraphCharacteristics:
+    def test_register_intensive_and_coherent(self, char):
+        for app in app_names("cugraph"):
+            c = char(app)
+            assert c.reads_per_instruction > 1.7, app
+            assert c.bank_coherence > 0.5, app
+            assert c.memory_fraction < 0.15, app
+
+    def test_triage(self, char):
+        for app in app_names("cugraph"):
+            assert char(app).dominant_effect() == "read-operand-limited", app
+
+
+class TestSensitiveSubset:
+    def test_rf_sensitive_apps_are_not_memory_bound(self, char):
+        for app in RF_SENSITIVE_APPS:
+            assert char(app).memory_fraction < 0.2, app
+
+    def test_rf_sensitive_apps_are_balanced(self, char):
+        for app in RF_SENSITIVE_APPS:
+            assert char(app).interwarp_divergence < 1.3, app
+
+
+class TestFillerPopulation:
+    def test_registry_has_memory_bound_population(self, char):
+        memory_bound = [
+            app
+            for suite in ("parboil", "rodinia", "polybench")
+            for app in app_names(suite)
+            if char(app).dominant_effect() == "memory-bound"
+        ]
+        # Fig. 1's near-1.0 population needs a real insensitive mass.
+        assert len(memory_bound) >= 10
+
+    def test_every_app_characterizes_cleanly(self, char):
+        for app in app_names():
+            c = char(app)
+            assert c.dynamic_instructions > 0
+            assert 0.0 <= c.memory_fraction <= 1.0
+            assert c.mean_operands <= 3.0
+
+    def test_tensor_suites_use_tensor_units(self, char):
+        for app in app_names("cutlass"):
+            assert char(app).unit_mix.get("tensor", 0.0) > 0.1, app

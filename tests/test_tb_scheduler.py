@@ -1,0 +1,99 @@
+"""Edge-case tests for the thread-block scheduler (single and multi-kernel)."""
+
+import pytest
+
+from repro import GPU, volta_v100
+from repro.gpu import ThreadBlockScheduler
+from repro.trace import TraceBuilder, make_kernel
+
+
+def kernel(name, warps=8, insts=16, regs=16, num_ctas=2, shared=0):
+    traces = [TraceBuilder().fma_chain(insts).build() for _ in range(warps)]
+    return make_kernel(name, traces, num_ctas=num_ctas, regs_per_thread=regs,
+                       shared_mem_per_cta=shared)
+
+
+def scheduler(num_sms=1):
+    gpu = GPU(volta_v100(), num_sms=num_sms)
+    return ThreadBlockScheduler(gpu.sms), gpu
+
+
+class TestLaunchValidation:
+    def test_launch_many_rejects_empty(self):
+        sched, _ = scheduler()
+        with pytest.raises(ValueError):
+            sched.launch_many([])
+
+    def test_launch_many_rejects_while_in_flight(self):
+        sched, _ = scheduler()
+        sched.launch_many([kernel("a")])
+        with pytest.raises(RuntimeError):
+            sched.launch_many([kernel("b")])
+
+    def test_impossible_kernel_rejected_upfront(self):
+        sched, _ = scheduler()
+        too_big = kernel("big", shared=1 << 30)
+        with pytest.raises(ValueError, match="never fit"):
+            sched.launch_many([kernel("ok"), too_big])
+
+    def test_relaunch_after_completion_allowed(self):
+        sched, gpu = scheduler()
+        sched.launch(kernel("a", num_ctas=1))
+        sched.fill(0)
+        assert sched.done
+        sched.launch(kernel("b", num_ctas=1))  # no error
+        assert sched.pending_ctas == 1
+
+
+class TestInterleaving:
+    def test_fill_interleaves_kernels(self):
+        sched, gpu = scheduler()
+        a = kernel("a", warps=8, num_ctas=4)
+        b = kernel("b", warps=8, num_ctas=4)
+        sched.launch_many([a, b])
+        placed = sched.fill(0)
+        # 64 warp slots / 8 warps per CTA = 8 CTAs resident
+        assert placed == 8
+        assert sched.done
+
+    def test_partial_fill_leaves_pending(self):
+        sched, gpu = scheduler()
+        a = kernel("a", warps=32, num_ctas=3)
+        sched.launch_many([a])
+        assert sched.fill(0) == 2      # 64 slots / 32
+        assert sched.pending_ctas == 1
+        assert not sched.done
+
+    def test_fat_kernel_does_not_block_thin_one(self):
+        # The fat kernel's CTA cannot fit next to the first one; the thin
+        # kernel's CTAs must still be placed (no head-of-line blocking
+        # across kernels).
+        sched, gpu = scheduler()
+        fat = kernel("fat", warps=8, regs=250, num_ctas=2)
+        thin = kernel("thin", warps=8, regs=16, num_ctas=2)
+        sched.launch_many([fat, thin])
+        placed = sched.fill(0)
+        names = []
+        for sm in gpu.sms:
+            names.extend(tb.trace for tb in sm.resident_ctas)
+        assert placed >= 3  # at least one fat + both thin
+
+    def test_round_robin_across_sms(self):
+        sched, gpu = scheduler(num_sms=2)
+        a = kernel("a", warps=8, num_ctas=4)
+        sched.launch_many([a])
+        sched.fill(0)
+        counts = [len(sm.resident_ctas) for sm in gpu.sms]
+        assert counts == [2, 2]
+
+
+class TestCounters:
+    def test_pending_ctas_across_kernels(self):
+        sched, _ = scheduler()
+        sched.launch_many([kernel("a", num_ctas=3), kernel("b", num_ctas=5)])
+        assert sched.pending_ctas == 8
+
+    def test_done_empty_scheduler(self):
+        sched, _ = scheduler()
+        assert sched.done
+        assert sched.fill(0) == 0

@@ -1,0 +1,170 @@
+"""Tests for the textual (SASS-like) trace format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Instruction, Opcode, bar, exit_, ffma, ldg, stg
+from repro.trace import (
+    TraceBuilder,
+    TraceParseError,
+    dump_kernel,
+    format_instruction,
+    load_kernel,
+    make_kernel,
+    parse_instruction,
+    parse_kernel,
+    save_kernel,
+)
+from repro.workloads import get_kernel
+
+DEMO = """
+# demo kernel
+.kernel demo
+.regs_per_thread 16
+.shared_mem 4096
+.ctas 2
+
+.cta
+.warp
+FFMA R4, R1, R2, R3
+LDG R5, [R0] lines=4 addr=0x1000
+BAR
+EXIT
+.warp
+IADD R6, R4, R5
+EXIT
+"""
+
+
+class TestFormatInstruction:
+    def test_arithmetic(self):
+        assert format_instruction(ffma(4, 1, 2, 3)) == "FFMA R4, R1, R2, R3"
+
+    def test_load(self):
+        text = format_instruction(ldg(5, 0, 0x1000, num_lines=4))
+        assert text == "LDG R5, [R0] lines=4 addr=0x1000"
+
+    def test_store(self):
+        text = format_instruction(stg(2, 0, 0x80))
+        assert text == "STG R2, [R0] lines=1 addr=0x80"
+
+    def test_control(self):
+        assert format_instruction(bar()) == "BAR"
+        assert format_instruction(exit_()) == "EXIT"
+
+
+class TestParseInstruction:
+    def test_round_trip_simple(self):
+        for inst in [ffma(4, 1, 2, 3), ldg(5, 0, 4096, 4), stg(2, 0, 128), bar()]:
+            assert parse_instruction(format_instruction(inst)) == inst
+
+    def test_unknown_opcode(self):
+        with pytest.raises(TraceParseError, match="unknown opcode"):
+            parse_instruction("FROB R1, R2", lineno=7)
+
+    def test_bad_operand(self):
+        with pytest.raises(TraceParseError, match="bad operand"):
+            parse_instruction("FADD R1, X2")
+
+    def test_ldg_requires_address(self):
+        with pytest.raises(TraceParseError, match="address operand"):
+            parse_instruction("LDG R5, R0")
+
+    def test_bar_takes_no_operands(self):
+        with pytest.raises(TraceParseError, match="no operands"):
+            parse_instruction("BAR R0")
+
+    def test_comment_stripped(self):
+        inst = parse_instruction("FADD R1, R2, R3  # comment")
+        assert inst.opcode is Opcode.FADD
+
+    def test_case_insensitive_opcode(self):
+        assert parse_instruction("fadd R1, R2, R3").opcode is Opcode.FADD
+
+
+class TestParseKernel:
+    def test_demo_parses(self):
+        k = parse_kernel(DEMO)
+        assert k.name == "demo"
+        assert k.num_ctas == 2
+        assert k.regs_per_thread == 16
+        assert k.shared_mem_per_cta == 4096
+        assert k.warps_per_cta == 2
+        first = k.ctas[0].warps[0]
+        assert first.instructions[0] == ffma(4, 1, 2, 3)
+        assert first.instructions[1].mem.num_lines == 4
+
+    def test_missing_kernel_directive(self):
+        with pytest.raises(TraceParseError, match=".kernel"):
+            parse_kernel(".cta\n.warp\nEXIT\n")
+
+    def test_instruction_outside_warp(self):
+        with pytest.raises(TraceParseError, match="outside"):
+            parse_kernel(".kernel k\n.cta\nFADD R1, R2, R3\n")
+
+    def test_warp_outside_cta(self):
+        with pytest.raises(TraceParseError, match="outside"):
+            parse_kernel(".kernel k\n.warp\nEXIT\n")
+
+    def test_replication_requires_single_cta(self):
+        text = ".kernel k\n.ctas 2\n.cta\n.warp\nEXIT\n.cta\n.warp\nEXIT\n"
+        with pytest.raises(TraceParseError, match="replication"):
+            parse_kernel(text)
+
+    def test_unknown_directive(self):
+        with pytest.raises(TraceParseError, match="unknown directive"):
+            parse_kernel(".kernel k\n.magic 3\n")
+
+    def test_default_regs_inferred(self):
+        k = parse_kernel(".kernel k\n.cta\n.warp\nFADD R9, R1, R2\nEXIT\n")
+        assert k.regs_per_thread >= 10
+
+
+class TestRoundTrip:
+    def test_builder_kernel_round_trips(self):
+        warps = [
+            TraceBuilder().fma_chain(8).barrier().build(),
+            TraceBuilder().global_load(1, 0, 4096, 2).build(),
+        ]
+        k = make_kernel("rt", warps, num_ctas=3, shared_mem_per_cta=1024)
+        k2 = parse_kernel(dump_kernel(k))
+        assert k2.name == k.name
+        assert k2.num_ctas == k.num_ctas
+        assert k2.shared_mem_per_cta == k.shared_mem_per_cta
+        for w1, w2 in zip(k.ctas[0].warps, k2.ctas[0].warps):
+            assert w1.instructions == w2.instructions
+
+    def test_registry_app_round_trips(self):
+        k = get_kernel("rod-nw")
+        k2 = parse_kernel(dump_kernel(k))
+        assert k2.dynamic_instructions == k.dynamic_instructions
+        assert k2.ctas[0].warps[0].instructions == k.ctas[0].warps[0].instructions
+
+    def test_file_io(self, tmp_path):
+        k = make_kernel("file-k", [TraceBuilder().fma_chain(4).build()])
+        path = tmp_path / "k.trace"
+        save_kernel(k, path)
+        k2 = load_kernel(path)
+        assert k2.name == "file-k"
+        assert k2.ctas[0].warps[0].instructions == k.ctas[0].warps[0].instructions
+
+    def test_round_tripped_kernel_simulates_identically(self):
+        from repro import simulate, volta_v100
+
+        k = get_kernel("ply-atax")
+        k2 = parse_kernel(dump_kernel(k))
+        a = simulate(k, volta_v100(), num_sms=1)
+        b = simulate(k2, volta_v100(), num_sms=1)
+        assert a.cycles == b.cycles
+
+
+@given(
+    dst=st.integers(min_value=0, max_value=63),
+    srcs=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=3),
+    op=st.sampled_from([Opcode.FADD, Opcode.FMUL, Opcode.FFMA, Opcode.IADD, Opcode.IMAD]),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_arithmetic_round_trip(dst, srcs, op):
+    inst = Instruction(op, dst_reg=dst, src_regs=tuple(srcs))
+    assert parse_instruction(format_instruction(inst)) == inst

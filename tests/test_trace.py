@@ -1,0 +1,175 @@
+"""Tests for warp/CTA/kernel traces and the TraceBuilder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Instruction, Opcode, bar, exit_, fadd, ffma
+from repro.trace import (
+    WARP_SIZE,
+    CTATrace,
+    KernelTrace,
+    TraceBuilder,
+    WarpTrace,
+    make_cta,
+    make_kernel,
+)
+
+
+class TestWarpTrace:
+    def test_must_end_with_exit(self):
+        with pytest.raises(ValueError):
+            WarpTrace([fadd(0, 1, 2)])
+
+    def test_exit_only_at_end(self):
+        with pytest.raises(ValueError):
+            WarpTrace([exit_(), exit_()])
+
+    def test_from_instructions_appends_exit(self):
+        tr = WarpTrace.from_instructions([fadd(0, 1, 2)])
+        assert tr[-1].opcode.is_exit
+        assert len(tr) == 2
+        assert tr.dynamic_instructions == 1
+
+    def test_from_instructions_keeps_existing_exit(self):
+        tr = WarpTrace.from_instructions([fadd(0, 1, 2), exit_()])
+        assert len(tr) == 2
+
+    def test_empty_trace_is_just_exit(self):
+        tr = WarpTrace.from_instructions([])
+        assert len(tr) == 1
+        assert tr.dynamic_instructions == 0
+
+    def test_register_accounting(self):
+        tr = WarpTrace.from_instructions([ffma(9, 1, 2, 3), fadd(4, 5, 6)])
+        assert tr.max_register() == 9
+        assert tr.register_reads() == 5
+
+    def test_count_opcode(self):
+        tr = WarpTrace.from_instructions([fadd(0, 1, 2), fadd(0, 1, 2), bar()])
+        assert tr.count_opcode(Opcode.FADD) == 2
+        assert tr.count_opcode(Opcode.BAR) == 1
+
+
+class TestCTAAndKernel:
+    def test_cta_requires_warps(self):
+        with pytest.raises(ValueError):
+            CTATrace([])
+
+    def test_cta_thread_count(self):
+        cta = make_cta([WarpTrace.from_instructions([]) for _ in range(4)])
+        assert cta.num_warps == 4
+        assert cta.num_threads == 4 * WARP_SIZE
+
+    def test_kernel_requires_ctas(self):
+        with pytest.raises(ValueError):
+            KernelTrace("k", [])
+
+    def test_kernel_register_declaration_check(self):
+        warp = WarpTrace.from_instructions([ffma(40, 1, 2, 3)])
+        with pytest.raises(ValueError, match="R40"):
+            KernelTrace("k", [make_cta([warp])], regs_per_thread=8)
+
+    def test_make_kernel_defaults_regs(self):
+        k = make_kernel("k", [WarpTrace.from_instructions([ffma(20, 1, 2, 3)])])
+        assert k.regs_per_thread >= 21
+
+    def test_uniform_kernel_replicates(self):
+        cta = make_cta([WarpTrace.from_instructions([fadd(0, 1, 2)])])
+        k = KernelTrace.uniform("k", cta, num_ctas=5)
+        assert k.num_ctas == 5
+        assert k.dynamic_instructions == 5 * cta.dynamic_instructions
+
+    def test_uniform_rejects_zero_ctas(self):
+        cta = make_cta([WarpTrace.from_instructions([])])
+        with pytest.raises(ValueError):
+            KernelTrace.uniform("k", cta, num_ctas=0)
+
+    def test_resource_arithmetic(self):
+        k = make_kernel(
+            "k",
+            [WarpTrace.from_instructions([fadd(0, 1, 2)])] * 4,
+            regs_per_thread=32,
+        )
+        assert k.regs_per_warp() == 32 * WARP_SIZE
+        assert k.regs_per_cta() == 4 * 32 * WARP_SIZE
+        assert k.warps_per_cta == 4
+        assert k.total_warps == 4
+
+
+class TestTraceBuilder:
+    def test_fma_chain_shape(self):
+        tr = TraceBuilder().fma_chain(10).build()
+        assert tr.dynamic_instructions == 10
+        assert all(i.opcode is Opcode.FFMA for i in tr.instructions[:-1])
+
+    def test_fma_chain_requires_registers(self):
+        with pytest.raises(ValueError):
+            TraceBuilder().fma_chain(4, regs=2)
+
+    def test_barrier_then_exit(self):
+        tr = TraceBuilder().barrier().build()
+        assert tr.instructions[0].opcode.is_barrier
+        assert tr.instructions[1].opcode.is_exit
+
+    def test_global_load_store(self):
+        tr = (
+            TraceBuilder()
+            .global_load(dst=1, addr_reg=0, base_address=0, num_lines=2)
+            .global_store(data_reg=1, addr_reg=0, base_address=128)
+            .build()
+        )
+        ld, st_ = tr.instructions[0], tr.instructions[1]
+        assert ld.opcode is Opcode.LDG and ld.mem.num_lines == 2
+        assert st_.opcode is Opcode.STG and st_.mem.is_store
+
+    def test_shared_load(self):
+        tr = TraceBuilder().shared_load(dst=1, addr_reg=0).build()
+        assert tr.instructions[0].opcode is Opcode.LDS
+
+    def test_compute_block_respects_count_and_window(self):
+        rng = np.random.default_rng(0)
+        tr = TraceBuilder().compute_block(50, rng, regs=8, base_reg=4).build()
+        assert tr.dynamic_instructions == 50
+        for inst in tr.instructions[:-1]:
+            for r in inst.src_regs:
+                assert 4 <= r < 12
+
+    def test_compute_block_operand_weights(self):
+        rng = np.random.default_rng(0)
+        tr = TraceBuilder().compute_block(
+            200, rng, operand_weights=(1.0, 0.0, 0.0), sfu_fraction=0.0
+        ).build()
+        assert all(i.num_src_operands == 1 for i in tr.instructions[:-1])
+
+    def test_compute_block_unit_fractions(self):
+        rng = np.random.default_rng(0)
+        tr = TraceBuilder().compute_block(
+            200, rng, tensor_fraction=1.0
+        ).build()
+        assert all(i.opcode is Opcode.HMMA for i in tr.instructions[:-1])
+
+
+@given(
+    n=st.integers(min_value=1, max_value=60),
+    regs=st.integers(min_value=4, max_value=24),
+)
+@settings(max_examples=25, deadline=None)
+def test_fma_chain_property_all_registers_in_window(n, regs):
+    tr = TraceBuilder().fma_chain(n, base_reg=2, regs=regs).build()
+    assert tr.dynamic_instructions == n
+    for inst in tr.instructions[:-1]:
+        for r in inst.registers():
+            assert 2 <= r < 2 + regs
+
+
+@given(counts=st.lists(st.integers(min_value=0, max_value=10), min_size=1, max_size=6))
+@settings(max_examples=25, deadline=None)
+def test_warp_trace_always_ends_with_single_exit(counts):
+    body = []
+    for c in counts:
+        body.extend(fadd(0, 1, 2) for _ in range(c))
+    tr = WarpTrace.from_instructions(body)
+    assert tr[-1].opcode.is_exit
+    assert sum(1 for i in tr.instructions if i.opcode.is_exit) == 1

@@ -1,0 +1,81 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.viz import bar_chart, hbar, histogram, sparkline, speedup_chart, timeline
+
+
+class TestHBar:
+    def test_full_bar(self):
+        assert hbar(10, 10, width=4) == "████"
+
+    def test_half_bar(self):
+        assert hbar(5, 10, width=4) == "██"
+
+    def test_zero(self):
+        assert hbar(0, 10, width=4) == ""
+
+    def test_clamps_overflow(self):
+        assert hbar(20, 10, width=4) == "████"
+
+    def test_zero_max(self):
+        assert hbar(1, 0) == ""
+
+
+class TestBarChart:
+    def test_labels_and_values_present(self):
+        text = bar_chart("T", {"alpha": 2.0, "beta": 1.0})
+        assert "alpha" in text and "2.00" in text
+
+    def test_empty(self):
+        assert "no data" in bar_chart("T", {})
+
+    def test_baseline_negative_renders_dashes(self):
+        text = bar_chart("T", {"worse": 0.9, "better": 1.2}, baseline=1.0)
+        assert "-" in text.splitlines()[2]
+
+
+class TestSparkline:
+    def test_length_matches(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_monotone_levels(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7], vmax=8)
+        assert line == "".join(sorted(line))
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_all_zero(self):
+        assert set(sparkline([0, 0, 0])) == {"▁"}
+
+
+class TestTimeline:
+    def test_buckets_long_series(self):
+        text = timeline("tl", list(range(1000)), buckets=10)
+        lines = text.splitlines()
+        assert lines[0] == "tl"
+        assert "mean" in lines[1]
+
+    def test_empty(self):
+        assert "(empty)" in timeline("tl", [])
+
+
+class TestHistogram:
+    def test_counts_sum(self):
+        text = histogram("h", [1, 1, 2, 5, 5, 5], bins=5)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in text.splitlines()[2:]]
+        assert sum(counts) == 6
+
+    def test_empty(self):
+        assert "(empty)" in histogram("h", [])
+
+    def test_degenerate_range(self):
+        text = histogram("h", [3.0, 3.0, 3.0], bins=4)
+        assert "3" in text
+
+
+class TestSpeedupChart:
+    def test_renders(self):
+        text = speedup_chart("S", {"rba": 1.12, "steal": 1.002})
+        assert "rba" in text and "1.120x" in text

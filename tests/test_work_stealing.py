@@ -1,0 +1,85 @@
+"""Tests for the dynamic warp-migration (work-stealing) extension."""
+
+import pytest
+
+from repro import simulate, srr, volta_v100
+from repro.core import WarpState
+from repro.core.warp import RUNNABLE_STATES
+from repro.workloads import fma_microbenchmark, scaled_imbalance_microbenchmark
+
+
+def stealing_config(latency=64):
+    return volta_v100().replace(work_stealing=True, migration_latency=latency)
+
+
+class TestConfig:
+    def test_flag_default_off(self):
+        assert not volta_v100().work_stealing
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            volta_v100().replace(migration_latency=-1)
+
+    def test_runnable_states(self):
+        assert WarpState.READY in RUNNABLE_STATES
+        assert WarpState.MIGRATING in RUNNABLE_STATES
+        assert WarpState.FINISHED not in RUNNABLE_STATES
+        assert WarpState.AT_BARRIER not in RUNNABLE_STATES
+
+
+class TestStealingBehaviour:
+    def test_fixes_unbalanced_fma(self):
+        k = fma_microbenchmark("unbalanced", fmas=128)
+        base = simulate(k, volta_v100(), num_sms=1)
+        stolen = simulate(k, stealing_config(0), num_sms=1)
+        assert base.cycles / stolen.cycles > 2.0
+        assert sum(sm.migrations for sm in stolen.sms) > 0
+
+    def test_free_migration_close_to_srr(self):
+        k = scaled_imbalance_microbenchmark(8, base_fmas=48)
+        srr_cycles = simulate(k, srr(), num_sms=1).cycles
+        steal_cycles = simulate(k, stealing_config(0), num_sms=1).cycles
+        assert steal_cycles < srr_cycles * 1.25
+
+    def test_migration_cost_monotone(self):
+        k = scaled_imbalance_microbenchmark(8, base_fmas=48)
+        costs = [
+            simulate(k, stealing_config(lat), num_sms=1).cycles
+            for lat in (0, 256, 4096)
+        ]
+        assert costs[0] <= costs[1] <= costs[2]
+
+    def test_no_migrations_on_balanced_work(self):
+        k = fma_microbenchmark("baseline", fmas=64)
+        stats = simulate(k, stealing_config(), num_sms=1)
+        assert sum(sm.migrations for sm in stats.sms) == 0
+
+    def test_results_still_correct(self):
+        # Same instruction count with and without stealing.
+        k = scaled_imbalance_microbenchmark(4, base_fmas=32)
+        base = simulate(k, volta_v100(), num_sms=1)
+        stolen = simulate(k, stealing_config(), num_sms=1)
+        assert stolen.instructions == base.instructions
+        assert stolen.sms[0].ctas_completed == base.sms[0].ctas_completed
+
+    def test_deterministic(self):
+        k = scaled_imbalance_microbenchmark(8, base_fmas=32)
+        a = simulate(k, stealing_config(), num_sms=1)
+        b = simulate(k, stealing_config(), num_sms=1)
+        assert a.cycles == b.cycles
+        assert sum(sm.migrations for sm in a.sms) == sum(
+            sm.migrations for sm in b.sms
+        )
+
+
+class TestExperimentHarness:
+    def test_study_runs_on_microbench_only(self):
+        from repro.experiments import work_stealing_study as wss
+
+        res = wss.run(apps=(), imbalance=8, latencies=(0, 128))
+        assert res.workloads == ["fma-8x"]
+        sp0 = res.mean_speedup("steal_lat0")
+        sp128 = res.mean_speedup("steal_lat128")
+        assert sp0 >= sp128 > 1.0
+        text = wss.format_result(res)
+        assert "migration" in text
