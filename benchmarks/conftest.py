@@ -8,13 +8,32 @@ figure's rows, and asserts the paper's qualitative shape.
 By default the registry-wide figures run on a representative subset so the
 whole suite finishes in minutes; set ``REPRO_FULL=1`` to sweep all 112
 applications / 22 queries exactly as the paper does.
+
+The benchmarks run through the experiment engine
+(:mod:`repro.experiments.engine`): simulation points fan out over
+``REPRO_WORKERS`` worker processes (default: all CPUs) and land in the
+persistent disk cache, so a re-run after a no-op change is near-instant.
+Set ``REPRO_CACHE_DIR`` to relocate the cache, or delete it to force
+fresh simulations.
 """
 
 from __future__ import annotations
 
 import os
 
+import pytest
+
+from repro.experiments.engine import configure
 from repro.workloads import app_names
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _engine_setup():
+    workers = int(os.environ.get("REPRO_WORKERS", "0") or 0) or (
+        os.cpu_count() or 1
+    )
+    configure(workers=workers)
+    yield
 
 
 def full_run() -> bool:

@@ -45,7 +45,6 @@ def run_with_custom_table(kernel, table):
         MemorySubsystem(cfg, l2=gpu.l2, dram=gpu.dram),
         assignment=HashTableAssignment(4, table),
     )
-    gpu.tb_scheduler.sms[0] = gpu.sms[0]
     return gpu.run(kernel)
 
 

@@ -6,14 +6,25 @@ Usage::
     python -m repro fig10               # run one experiment, print its rows
     python -m repro fig15 fig16 fig17   # several in one process (shared cache)
     python -m repro all                 # everything (slow)
+
+Engine options (see repro.experiments.engine)::
+
+    --workers N      # worker processes for simulation fan-out
+                     # (default: all CPUs; 1 = serial)
+    --cache-dir DIR  # on-disk result cache location
+                     # (default: $REPRO_CACHE_DIR or ~/.cache/repro-sim)
+    --no-cache       # disable the on-disk result cache
+    --profile        # print cache hit/miss counters and slowest points
 """
 
 from __future__ import annotations
 
+import os
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Tuple
 
 from . import experiments as ex
+from .experiments.engine import configure, get_engine
 
 EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "fig01": ex.fig01_partitioning.main,
@@ -42,24 +53,88 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
 }
 
 
+class _CLIError(ValueError):
+    pass
+
+
+def _parse_args(args: List[str]) -> Tuple[dict, List[str]]:
+    """Split engine flags from experiment names."""
+    opts = {
+        "workers": None,
+        "cache_dir": None,
+        "no_cache": False,
+        "profile": False,
+    }
+    names: List[str] = []
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--no-cache":
+            opts["no_cache"] = True
+        elif arg == "--profile":
+            opts["profile"] = True
+        elif arg.startswith("--workers") or arg.startswith("--cache-dir"):
+            flag, sep, value = arg.partition("=")
+            if not sep:
+                i += 1
+                if i >= len(args):
+                    raise _CLIError(f"{flag} requires a value")
+                value = args[i]
+            if flag == "--workers":
+                try:
+                    opts["workers"] = int(value)
+                except ValueError:
+                    raise _CLIError(f"--workers expects an integer, got {value!r}")
+                if opts["workers"] < 1:
+                    raise _CLIError("--workers must be >= 1")
+            else:
+                opts["cache_dir"] = value
+        elif arg.startswith("-") and arg not in ("-h", "--help"):
+            raise _CLIError(f"unknown option: {arg}")
+        else:
+            names.append(arg)
+        i += 1
+    return opts, names
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
-    if not args or args == ["list"] or "-h" in args or "--help" in args:
+    try:
+        opts, names = _parse_args(args)
+    except _CLIError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if not names or names == ["list"] or "-h" in names or "--help" in names:
         print(__doc__)
         print("experiments:")
         for name in EXPERIMENTS:
             print(f"  {name}")
         return 0
-    if args == ["all"]:
-        args = list(EXPERIMENTS)
-    unknown = [a for a in args if a not in EXPERIMENTS]
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [a for a in names if a not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"options: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    for name in args:
+
+    workers = opts["workers"]
+    if workers is None:
+        workers = int(os.environ.get("REPRO_WORKERS", "0") or 0) or (
+            os.cpu_count() or 1
+        )
+    configure(
+        workers=workers,
+        cache_dir=opts["cache_dir"],
+        use_disk_cache=not opts["no_cache"],
+        progress=sys.stderr.isatty(),
+    )
+
+    for name in names:
         print(f"\n=== {name} ===")
         EXPERIMENTS[name]()
+    if opts["profile"]:
+        print(f"\n{get_engine().profile_summary()}")
     return 0
 
 

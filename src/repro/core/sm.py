@@ -97,9 +97,10 @@ class StreamingMultiprocessor:
         tb = ThreadBlock(
             cta_id,
             cta,
-            regs=kernel.regs_per_cta(),
+            regs=regs_per_warp * cta.num_warps,
             shared_mem=kernel.shared_mem_per_cta,
             shared_conflict_degree=kernel.shared_conflict_degree,
+            regs_per_warp=regs_per_warp,
         )
         tb.start_cycle = now
         self.shared_mem_used += kernel.shared_mem_per_cta
@@ -119,7 +120,7 @@ class StreamingMultiprocessor:
         return True
 
     def _release_cta(self, tb: ThreadBlock, now: int) -> None:
-        regs_per_warp = tb.regs // tb.num_warps
+        regs_per_warp = tb.regs_per_warp
         for warp in tb.warps:
             self.subcores[warp.subcore_id].remove_warp(warp, regs_per_warp)
         self.shared_mem_used -= tb.shared_mem
@@ -213,7 +214,7 @@ class StreamingMultiprocessor:
             runnable, donor = donors[0]
             victims = [w for w in donor.warps if w.state in RUNNABLE_STATES]
             warp = max(victims, key=lambda w: w.age)  # youngest: least sunk work
-            regs_per_warp = warp.cta.regs // warp.cta.num_warps
+            regs_per_warp = warp.cta.regs_per_warp
             if thief.free_registers() < regs_per_warp:
                 continue
             donor.remove_warp(warp, regs_per_warp)

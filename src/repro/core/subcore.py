@@ -23,7 +23,7 @@ boundary), so a conflict-free instruction occupies its CU for one cycle.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Set, TYPE_CHECKING
+from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
 
 from ..config import GPUConfig
 from ..isa import Instruction
@@ -65,7 +65,10 @@ class SubCore:
         self.max_registers = config.registers_per_sm // config.subcores_per_sm
         self.warps: List[Warp] = []
         #: Warps currently in the READY state (maintained by Warp.set_state).
-        self.ready: set = set()
+        #: A dict-as-set: iteration order is insertion order, never hash
+        #: order, so scheduler tie-breaks are bit-deterministic across
+        #: processes (a plain set would order candidates by object hash).
+        self.ready: Dict[Warp, None] = {}
         self.registers_used = 0
         self._age_counter = 0
         self._busy_cus = 0
@@ -93,12 +96,12 @@ class SubCore:
         self.warps.append(warp)
         warp.ready_pool = self.ready
         if warp.state is WarpState.READY:
-            self.ready.add(warp)
+            self.ready[warp] = None
         self.registers_used += regs_per_warp
 
     def remove_warp(self, warp: Warp, regs_per_warp: int) -> None:
         self.warps.remove(warp)
-        self.ready.discard(warp)
+        self.ready.pop(warp, None)
         warp.ready_pool = None
         self.registers_used -= regs_per_warp
         self.scheduler.note_warp_removed(warp)

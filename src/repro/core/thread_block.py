@@ -29,12 +29,22 @@ class ThreadBlock:
         regs: int,
         shared_mem: int,
         shared_conflict_degree: int = 1,
+        regs_per_warp: Optional[int] = None,
     ):
         self.cta_id = cta_id
         self.trace = trace
         #: Register-file space (in registers) and shared memory (bytes)
         #: this CTA holds until completion.
         self.regs = regs
+        #: Registers charged per warp at admission.  Release and migration
+        #: must use this exact figure: deriving it from ``regs`` (e.g.
+        #: ``regs // num_warps``) drifts whenever the division is inexact
+        #: and permanently strands register-file space.
+        self.regs_per_warp = (
+            regs_per_warp
+            if regs_per_warp is not None
+            else regs // max(1, trace.num_warps)
+        )
         self.shared_mem = shared_mem
         #: LDS/STS bank-serialization degree of the owning kernel.
         self.shared_conflict_degree = shared_conflict_degree

@@ -10,7 +10,7 @@ its scheduler — the GTO tie-break key.
 from __future__ import annotations
 
 import enum
-from typing import Optional, Set, TYPE_CHECKING
+from typing import Dict, Optional, Set, TYPE_CHECKING
 
 from ..isa import Instruction
 
@@ -59,8 +59,9 @@ class Warp:
         self.pending_writes: Set[int] = set()
         self.issued_instructions = 0
         self.finish_cycle: Optional[int] = None
-        #: The owning sub-core's ready set (kept in sync by set_state).
-        self.ready_pool: Optional[set] = None
+        #: The owning sub-core's ready pool (kept in sync by set_state).
+        #: An insertion-ordered dict-as-set — see SubCore.ready.
+        self.ready_pool: Optional[Dict["Warp", None]] = None
 
     # -- trace cursor ------------------------------------------------------
 
@@ -91,14 +92,14 @@ class Warp:
         return any(r in pending for r in inst.src_regs)
 
     def set_state(self, state: WarpState) -> None:
-        """Transition state, keeping the sub-core's ready set in sync."""
+        """Transition state, keeping the sub-core's ready pool in sync."""
         self.state = state
         pool = self.ready_pool
         if pool is not None:
             if state is WarpState.READY:
-                pool.add(self)
+                pool[self] = None
             else:
-                pool.discard(self)
+                pool.pop(self, None)
 
     def refresh_state(self) -> None:
         """Recompute READY/BLOCKED from the scoreboard (after a writeback)."""

@@ -32,9 +32,23 @@ from . import (
     rba_latency,
 )
 from . import sweep
+from .engine import (
+    ExperimentEngine,
+    SimPoint,
+    configure,
+    get_engine,
+    point_key,
+)
 from .export import dump_json, load_json, result_to_dict, stats_to_dict
 from .designs import DESIGNS, design_names, get_design
-from .runner import cache_size, clear_cache, run_app, run_kernel, speedups_over_baseline
+from .runner import (
+    cache_size,
+    clear_cache,
+    prefetch,
+    run_app,
+    run_kernel,
+    speedups_over_baseline,
+)
 
 __all__ = [
     "ablation_bank_mapping",
@@ -68,8 +82,14 @@ __all__ = [
     "DESIGNS",
     "design_names",
     "get_design",
+    "ExperimentEngine",
+    "SimPoint",
+    "configure",
+    "get_engine",
+    "point_key",
     "cache_size",
     "clear_cache",
+    "prefetch",
     "run_app",
     "run_kernel",
     "speedups_over_baseline",

@@ -1,0 +1,423 @@
+"""Parallel, disk-cached experiment-execution engine.
+
+Every figure of the reproduction decomposes into *simulation points* —
+``(app, design, num_sms, collect_timeline)`` tuples — and figures share
+points heavily (the Fig. 1 baseline runs are the Fig. 9/10 denominators).
+The engine is the single authority that turns a batch of points into
+:class:`~repro.metrics.SimStats`:
+
+1. **dedup** — a batch is reduced to its unique points;
+2. **cache** — each point is looked up in a per-process memory cache and
+   then in a content-addressed on-disk cache keyed by a stable SHA-256
+   hash of the *resolved* design config (every ``GPUConfig`` field,
+   including the memory hierarchy), the workload name plus its full
+   profile and :data:`~repro.workloads.PROFILE_VERSION`, and the
+   simulator version;
+3. **fan-out** — remaining misses run on a ``concurrent.futures`` process
+   pool (``workers > 1``), with a per-point timeout, one retry in the
+   parent process when a worker crashes or times out, and a graceful
+   serial fallback when the pool cannot be created at all.
+
+Caching is loss-free because simulation is bit-deterministic (warp
+scheduling never iterates hash-ordered sets — see ``SubCore.ready``) and
+:meth:`SimStats.to_payload` round-trips losslessly.
+
+Observability: the engine keeps per-point wall times and hit/miss/retry
+counters (:class:`EngineProfile`); ``python -m repro --profile`` prints
+them, and ``--workers/--cache-dir/--no-cache`` configure the process-wide
+engine used by :mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .. import __version__ as _SIM_VERSION
+from ..config import GPUConfig
+from ..gpu import simulate
+from ..metrics import SimStats
+from ..workloads import PROFILE_VERSION, get_kernel, get_profile
+from .designs import get_design
+
+#: Bump when the cache-file layout (not the simulated results) changes.
+CACHE_SCHEMA = 1
+
+#: Default on-disk cache location (override with ``REPRO_CACHE_DIR`` or
+#: ``configure(cache_dir=...)``).
+DEFAULT_CACHE_DIR = Path(
+    os.environ.get("REPRO_CACHE_DIR", "~/.cache/repro-sim")
+).expanduser()
+
+
+@dataclass(frozen=True, order=True)
+class SimPoint:
+    """One simulation the evaluation needs: an app under a named design."""
+
+    app: str
+    design: str = "baseline"
+    num_sms: int = 1
+    collect_timeline: bool = False
+
+    def label(self) -> str:
+        tl = " +timeline" if self.collect_timeline else ""
+        return f"{self.app} × {self.design} (num_sms={self.num_sms}{tl})"
+
+
+@dataclass
+class EngineProfile:
+    """Counters and per-point wall times for one engine's lifetime."""
+
+    mem_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    sims: int = 0
+    retries: int = 0
+    disk_errors: int = 0
+    point_seconds: List[Tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def hits(self) -> int:
+        return self.mem_hits + self.disk_hits
+
+    def total_sim_seconds(self) -> float:
+        return sum(s for _, s in self.point_seconds)
+
+    def summary(self, slowest: int = 5) -> str:
+        lines = [
+            "engine profile",
+            "--------------",
+            f"memory hits   {self.mem_hits}",
+            f"disk hits     {self.disk_hits}",
+            f"simulations   {self.sims}",
+            f"retries       {self.retries}",
+            f"disk errors   {self.disk_errors}",
+            f"sim wall time {self.total_sim_seconds():.2f}s",
+        ]
+        if self.point_seconds:
+            lines.append(f"slowest points (top {slowest}):")
+            ranked = sorted(self.point_seconds, key=lambda t: -t[1])[:slowest]
+            lines.extend(f"  {secs:7.2f}s  {label}" for label, secs in ranked)
+        return "\n".join(lines)
+
+
+def resolved_config(point: SimPoint) -> GPUConfig:
+    """The effective config a point simulates (design + num_sms applied)."""
+    return get_design(point.design).replace(num_sms=point.num_sms)
+
+
+def config_key_fields(config: GPUConfig) -> dict:
+    """Every field of a config as JSON-safe primitives (nested included)."""
+    return dataclasses.asdict(config)
+
+
+def point_key(point: SimPoint) -> str:
+    """Stable content hash identifying a point's simulation inputs.
+
+    The key covers the full resolved config, the workload's name *and*
+    profile fields (so editing a profile invalidates its cached results),
+    the trace-synthesis :data:`PROFILE_VERSION`, the simulator version,
+    and the timeline flag.  It deliberately excludes the design *name*:
+    two names resolving to identical configs share cache entries.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "sim_version": _SIM_VERSION,
+        "config": config_key_fields(resolved_config(point)),
+        "workload": {
+            "app": point.app,
+            "profile": dataclasses.asdict(get_profile(point.app)),
+            "profile_version": PROFILE_VERSION,
+        },
+        "collect_timeline": point.collect_timeline,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _simulate_point(point_fields: tuple) -> Tuple[tuple, dict, float]:
+    """Worker entry: simulate one point, return its payload and wall time.
+
+    Takes/returns plain tuples and dicts so the function pickles cheaply
+    under any multiprocessing start method.
+    """
+    point = SimPoint(*point_fields)
+    t0 = time.perf_counter()
+    stats = simulate(
+        get_kernel(point.app),
+        get_design(point.design),
+        num_sms=point.num_sms,
+        collect_timeline=point.collect_timeline,
+    )
+    return point_fields, stats.to_payload(), time.perf_counter() - t0
+
+
+class ExperimentEngine:
+    """Executes simulation points with caching, fan-out and robustness."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache_dir: Optional[os.PathLike] = None,
+        use_disk_cache: bool = True,
+        timeout: Optional[float] = None,
+        progress: bool = False,
+    ):
+        self.workers = max(1, int(workers))
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
+        self.use_disk_cache = use_disk_cache
+        #: Per-point wall-clock budget (seconds) when running on the pool;
+        #: a point exceeding it is retried once in the parent process.
+        self.timeout = timeout
+        self.progress = progress
+        self.profile = EngineProfile()
+        self._mem: Dict[str, SimStats] = {}
+
+    # -- cache plumbing ----------------------------------------------------
+
+    def memory_cache_size(self) -> int:
+        return len(self._mem)
+
+    def clear_memory(self) -> None:
+        self._mem.clear()
+
+    def cache_path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json"
+
+    def _load_disk(self, key: str) -> Optional[SimStats]:
+        if not self.use_disk_cache:
+            return None
+        path = self.cache_path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+            if doc.get("schema") != CACHE_SCHEMA:
+                return None
+            return SimStats.from_payload(doc["stats"])
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupted or truncated entry: drop it and re-simulate.
+            self.profile.disk_errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def _store_disk(self, key: str, point: SimPoint, stats: SimStats) -> None:
+        if not self.use_disk_cache:
+            return
+        doc = {
+            "schema": CACHE_SCHEMA,
+            "point": dataclasses.asdict(point),
+            "stats": stats.to_payload(),
+        }
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.cache_dir, prefix=f".{key[:16]}.", suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, sort_keys=True)
+            os.replace(tmp, self.cache_path(key))
+        except OSError:
+            # A read-only or full cache directory must never fail a run.
+            self.profile.disk_errors += 1
+
+    # -- execution ---------------------------------------------------------
+
+    def run_point(self, point: SimPoint) -> SimStats:
+        """Resolve one point (memory cache → disk cache → simulate)."""
+        key = point_key(point)
+        hit = self._mem.get(key)
+        if hit is not None:
+            self.profile.mem_hits += 1
+            return hit
+        stats = self._load_disk(key)
+        if stats is not None:
+            self.profile.disk_hits += 1
+            self._mem[key] = stats
+            return stats
+        self.profile.misses += 1
+        stats = self._simulate_serial(point)
+        self._mem[key] = stats
+        self._store_disk(key, point, stats)
+        return stats
+
+    def run_many(self, points: Iterable[SimPoint]) -> Dict[SimPoint, SimStats]:
+        """Resolve a batch of points, fanning cache misses out over workers.
+
+        Returns a dict covering every *distinct* point in ``points``.
+        """
+        ordered: List[SimPoint] = []
+        seen = set()
+        for p in points:
+            if p not in seen:
+                seen.add(p)
+                ordered.append(p)
+
+        results: Dict[SimPoint, SimStats] = {}
+        missing: List[Tuple[SimPoint, str]] = []
+        for p in ordered:
+            key = point_key(p)
+            hit = self._mem.get(key)
+            if hit is not None:
+                self.profile.mem_hits += 1
+                results[p] = hit
+                continue
+            stats = self._load_disk(key)
+            if stats is not None:
+                self.profile.disk_hits += 1
+                self._mem[key] = stats
+                results[p] = stats
+                continue
+            self.profile.misses += 1
+            missing.append((p, key))
+
+        if not missing:
+            return results
+
+        if self.workers > 1 and len(missing) > 1:
+            simulated = self._run_pool(missing)
+        else:
+            simulated = {
+                p: self._simulate_serial(p) for p, _ in missing
+            }
+
+        for p, key in missing:
+            stats = simulated[p]
+            self._mem[key] = stats
+            self._store_disk(key, p, stats)
+            results[p] = stats
+        return results
+
+    # -- execution backends --------------------------------------------------
+
+    def _simulate_serial(self, point: SimPoint) -> SimStats:
+        _, payload, secs = _simulate_point(dataclasses.astuple(point))
+        self.profile.sims += 1
+        self.profile.point_seconds.append((point.label(), secs))
+        return SimStats.from_payload(payload)
+
+    def _make_pool(self, n: int) -> concurrent.futures.ProcessPoolExecutor:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        return concurrent.futures.ProcessPoolExecutor(max_workers=n, mp_context=ctx)
+
+    def _run_pool(
+        self, missing: Sequence[Tuple[SimPoint, str]]
+    ) -> Dict[SimPoint, SimStats]:
+        """Fan points out over a worker pool; retry stragglers serially.
+
+        Robustness contract: a worker crash (``BrokenProcessPool``), a
+        per-point timeout, or a pool that cannot even be created never
+        fails the batch — affected points are re-simulated once in the
+        parent process, which either succeeds or raises the *real* error.
+        """
+        points = [p for p, _ in missing]
+        try:
+            pool = self._make_pool(min(self.workers, len(points)))
+        except (OSError, ValueError):
+            return {p: self._simulate_serial(p) for p in points}
+
+        done: Dict[SimPoint, SimStats] = {}
+        failed: List[SimPoint] = []
+        total = len(points)
+        try:
+            futures = {}
+            try:
+                for p in points:
+                    futures[p] = pool.submit(
+                        _simulate_point, dataclasses.astuple(p)
+                    )
+            except concurrent.futures.process.BrokenProcessPool:
+                failed.extend(p for p in points if p not in futures)
+            for p, fut in futures.items():
+                try:
+                    _, payload, secs = fut.result(timeout=self.timeout)
+                except Exception:
+                    # TimeoutError, BrokenProcessPool, or an error raised
+                    # inside the worker — all retried once in-parent, where
+                    # a real simulation error surfaces undisturbed.
+                    fut.cancel()
+                    failed.append(p)
+                else:
+                    self.profile.sims += 1
+                    self.profile.point_seconds.append((p.label(), secs))
+                    done[p] = SimStats.from_payload(payload)
+                self._progress_line(len(done) + len(failed), total)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+            self._progress_end()
+
+        for p in failed:
+            self.profile.retries += 1
+            done[p] = self._simulate_serial(p)
+        return done
+
+    # -- observability -------------------------------------------------------
+
+    def _progress_line(self, done: int, total: int) -> None:
+        if self.progress:
+            prof = self.profile
+            sys.stderr.write(
+                f"\r[engine] {done}/{total} points "
+                f"(hits {prof.hits}, sims {prof.sims}, retries {prof.retries})"
+            )
+            sys.stderr.flush()
+
+    def _progress_end(self) -> None:
+        if self.progress:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
+
+    def profile_summary(self) -> str:
+        return self.profile.summary()
+
+
+# -- the process-wide engine used by repro.experiments.runner ----------------
+
+_engine = ExperimentEngine()
+
+
+def get_engine() -> ExperimentEngine:
+    """The engine behind :func:`repro.experiments.run_app`."""
+    return _engine
+
+
+def configure(
+    workers: Optional[int] = None,
+    cache_dir: Optional[os.PathLike] = None,
+    use_disk_cache: Optional[bool] = None,
+    timeout: Optional[float] = None,
+    progress: Optional[bool] = None,
+) -> ExperimentEngine:
+    """Replace the process-wide engine; unspecified knobs keep their values.
+
+    The memory cache starts empty on the new engine; the disk cache is
+    shared through the filesystem, so previously stored results remain
+    visible (keys are content-addressed and engine-independent).
+    """
+    global _engine
+    old = _engine
+    _engine = ExperimentEngine(
+        workers=old.workers if workers is None else workers,
+        cache_dir=old.cache_dir if cache_dir is None else cache_dir,
+        use_disk_cache=(
+            old.use_disk_cache if use_disk_cache is None else use_disk_cache
+        ),
+        timeout=old.timeout if timeout is None else timeout,
+        progress=old.progress if progress is None else progress,
+    )
+    return _engine

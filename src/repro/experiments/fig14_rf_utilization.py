@@ -20,7 +20,7 @@ import numpy as np
 
 from ..metrics import SimStats
 from .report import series_table
-from .runner import run_app
+from .runner import prefetch, run_app
 
 APPS = ("pb-mriq", "rod-srad")
 DESIGNS = ("baseline", "rba", "fully_connected")
@@ -58,6 +58,7 @@ class Fig14Result:
 
 def run(apps: Optional[Tuple[str, ...]] = None) -> Fig14Result:
     apps = apps if apps is not None else APPS
+    prefetch(apps, DESIGNS, num_sms=1, collect_timeline=True)
     stats: Dict[str, Dict[str, SimStats]] = {}
     for app in apps:
         stats[app] = {

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..workloads import app_names
 from .report import series_table
-from .runner import run_app
+from .runner import prefetch, run_app
 
 DESIGNS = ("baseline", "srr", "shuffle")
 SUITE = "tpch-uncompressed"
@@ -38,6 +38,7 @@ class Fig17Result:
 
 def run(queries: Optional[List[str]] = None, num_sms: int = 1) -> Fig17Result:
     apps = queries if queries is not None else app_names(SUITE)
+    prefetch(apps, DESIGNS, num_sms=num_sms)
     rows: List[Tuple[str, Dict[str, float]]] = []
     for app in apps:
         rows.append(

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..workloads import app_names
 from .report import speedup_table
-from .runner import run_app
+from .runner import prefetch, run_app
 
 DEFAULT_APPS = (
     "tpcU-q1",
@@ -46,6 +46,7 @@ class HashTableResult:
 
 def run(apps: Optional[Sequence[str]] = None) -> HashTableResult:
     apps = list(apps) if apps is not None else list(DEFAULT_APPS)
+    prefetch(apps, ("baseline", "shuffle_4entry", "shuffle_16entry"))
     rows: List[Tuple[str, Dict[str, float]]] = []
     for app in apps:
         base = run_app(app, "baseline")

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..workloads import RF_SENSITIVE_APPS
 from .report import speedup_table
-from .runner import run_app
+from .runner import prefetch, run_app
 
 BANK_DESIGNS = {
     2: ("baseline", "rba"),
@@ -34,6 +34,7 @@ class RBABanksResult:
 
 def run(apps: Optional[Sequence[str]] = None) -> RBABanksResult:
     apps = list(apps) if apps is not None else list(RF_SENSITIVE_APPS)
+    prefetch(apps, [d for pair in BANK_DESIGNS.values() for d in pair])
     rows = []
     for app in apps:
         vals: Dict[str, float] = {}

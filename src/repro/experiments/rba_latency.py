@@ -24,7 +24,7 @@ import numpy as np
 
 from ..workloads import RF_SENSITIVE_APPS
 from .report import series_table
-from .runner import run_app
+from .runner import prefetch, run_app
 
 LATENCIES = (0, 1, 2, 5, 10, 20)
 
@@ -58,6 +58,7 @@ def run(
     apps: Optional[Sequence[str]] = None, latencies: Sequence[int] = LATENCIES
 ) -> RBALatencyResult:
     apps = list(apps) if apps is not None else list(RF_SENSITIVE_APPS)
+    prefetch(apps, ["baseline", *(f"rba_lat{lat}" for lat in latencies)])
     speedups: Dict[int, Dict[str, float]] = {}
     for lat in latencies:
         design = f"rba_lat{lat}"

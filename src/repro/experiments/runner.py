@@ -1,9 +1,16 @@
-"""Experiment runner with per-process result caching.
+"""Experiment runner — a thin façade over the execution engine.
 
 Figures share design points (the Fig. 1 baseline runs are the Fig. 9/10
-denominators), so the runner memoizes ``(app, design, num_sms)`` →
-:class:`~repro.metrics.SimStats` for the life of the process.  Simulation
-is fully deterministic, so caching is loss-free.
+denominators), so every registered-app simulation goes through the
+process-wide :class:`~repro.experiments.engine.ExperimentEngine`, which
+memoizes ``(app, design, num_sms, collect_timeline)`` →
+:class:`~repro.metrics.SimStats` in memory, persists results in a
+content-addressed disk cache, and fans batched requests out over a worker
+pool.  Simulation is bit-deterministic, so caching is loss-free.
+
+The figure harnesses keep calling :func:`run_app` point-by-point; batch
+entry points (:func:`speedups_over_baseline`, :func:`prefetch`) hand the
+whole point set to the engine first so misses simulate in parallel.
 """
 
 from __future__ import annotations
@@ -13,18 +20,17 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from ..gpu import simulate
 from ..metrics import SimStats
 from ..trace import KernelTrace
-from ..workloads import get_kernel
 from .designs import get_design
-
-_CACHE: Dict[Tuple[str, str, int, bool], SimStats] = {}
+from .engine import SimPoint, get_engine
 
 
 def clear_cache() -> None:
-    _CACHE.clear()
+    """Forget in-memory results (the disk cache is left untouched)."""
+    get_engine().clear_memory()
 
 
 def cache_size() -> int:
-    return len(_CACHE)
+    return get_engine().memory_cache_size()
 
 
 def run_app(
@@ -34,18 +40,28 @@ def run_app(
     collect_timeline: bool = False,
 ) -> SimStats:
     """Simulate one registered application under one named design."""
-    key = (app, design, num_sms, collect_timeline)
-    hit = _CACHE.get(key)
-    if hit is not None:
-        return hit
-    stats = simulate(
-        get_kernel(app),
-        get_design(design),
-        num_sms=num_sms,
-        collect_timeline=collect_timeline,
+    return get_engine().run_point(
+        SimPoint(app, design, num_sms, collect_timeline)
     )
-    _CACHE[key] = stats
-    return stats
+
+
+def prefetch(
+    apps: Iterable[str],
+    designs: Iterable[str],
+    num_sms: int = 1,
+    collect_timeline: bool = False,
+) -> None:
+    """Resolve an apps × designs grid through the engine in one batch.
+
+    Harnesses that loop over :func:`run_app` call this first: the engine
+    dedupes the grid, simulates the misses in parallel, and the following
+    per-point calls all hit the memory cache.
+    """
+    get_engine().run_many(
+        SimPoint(app, d, num_sms, collect_timeline)
+        for app in apps
+        for d in designs
+    )
 
 
 def run_kernel(
@@ -70,15 +86,21 @@ def speedups_over_baseline(
     baseline: str = "baseline",
 ) -> List[Tuple[str, Dict[str, float]]]:
     """Rows of ``(app, {design: speedup})`` over the shared baseline."""
+    apps = list(apps)
     designs = list(designs)
+    points = get_engine().run_many(
+        SimPoint(app, d, num_sms)
+        for app in apps
+        for d in [baseline, *designs]
+    )
     rows: List[Tuple[str, Dict[str, float]]] = []
     for app in apps:
-        base = run_app(app, baseline, num_sms=num_sms)
+        base = points[SimPoint(app, baseline, num_sms)]
         rows.append(
             (
                 app,
                 {
-                    d: base.cycles / run_app(app, d, num_sms=num_sms).cycles
+                    d: base.cycles / points[SimPoint(app, d, num_sms)].cycles
                     for d in designs
                 },
             )

@@ -50,7 +50,6 @@ class GPU:
             )
             for i in range(self.config.num_sms)
         ]
-        self.tb_scheduler = ThreadBlockScheduler(self.sms)
         self.now = 0
 
     # -- execution ---------------------------------------------------------
@@ -67,7 +66,7 @@ class GPU:
             sms = sms[: launch.max_sms]
         scheduler = ThreadBlockScheduler(sms)
         scheduler.launch(launch.trace)
-        return self._run(scheduler, sms, launch.trace, launch.name, max_cycles)
+        return self._run(scheduler, sms, launch.name, max_cycles)
 
     def run_concurrent(
         self,
@@ -86,16 +85,16 @@ class GPU:
         scheduler = ThreadBlockScheduler(self.sms)
         scheduler.launch_many(kernels)
         name = "+".join(k.name for k in kernels)
-        return self._run(scheduler, self.sms, kernels[0], name, max_cycles)
+        return self._run(scheduler, self.sms, name, max_cycles)
 
     def _run(
         self,
         scheduler: ThreadBlockScheduler,
         sms: List[StreamingMultiprocessor],
-        trace: KernelTrace,
         name: str,
         max_cycles: int,
     ) -> SimStats:
+        base = self._snapshot_counters(sms)
         start = self.now
         now = self.now
         scheduler.fill(now)
@@ -129,7 +128,7 @@ class GPU:
             now = self._advance(active, now, name)
 
         self.now = now + 1
-        return self._collect_stats(trace, sms, self.now - start, name)
+        return self._collect_stats(sms, self.now - start, name, base)
 
     def _advance(self, active: List[StreamingMultiprocessor], now: int, name: str) -> int:
         """Next cycle to simulate: ``now + 1`` or a fast-forward jump."""
@@ -150,44 +149,101 @@ class GPU:
 
     # -- results -----------------------------------------------------------
 
+    def _snapshot_counters(self, sms: List[StreamingMultiprocessor]) -> dict:
+        """Counter values at run start, so stats report per-run deltas.
+
+        Every counter in the simulator is cumulative over the GPU's
+        lifetime (the L2 stays warm across ``run()`` calls by design);
+        without the snapshot a second run would re-report the first
+        kernel's work as its own.
+        """
+        return {
+            "sms": [
+                {
+                    "instructions": sm.total_instructions,
+                    "issue_counts": sm.issue_counts(),
+                    "rf_reads": sm.total_rf_reads(),
+                    "bank_conflict_cycles": sm.total_bank_conflict_cycles(),
+                    "ctas_completed": sm.ctas_completed,
+                    "issue_stall_no_cu": sum(sc.issue_stall_no_cu for sc in sm.subcores),
+                    "issue_stall_no_ready": sum(
+                        sc.issue_stall_no_ready for sc in sm.subcores
+                    ),
+                    "steals": sum(sc.steals for sc in sm.subcores),
+                    "migrations": sm.migrations,
+                    "l1_hits": sm.memory.l1.stats.hits,
+                    "l1_misses": sm.memory.l1.stats.misses,
+                    "timeline_len": len(sm.rf_read_timeline or ()),
+                    "finish_len": len(sm.warp_finish_cycles),
+                    "latency_len": len(sm.cta_latencies),
+                }
+                for sm in sms
+            ],
+            "l2_hits": self.l2.stats.hits,
+            "l2_misses": self.l2.stats.misses,
+            "dram_accesses": self.dram.stats.accesses,
+        }
+
     def _collect_stats(
         self,
-        trace: KernelTrace,
         sms: List[StreamingMultiprocessor],
         cycles: int,
-        name: str | None = None,
+        name: str,
+        base: dict,
     ) -> SimStats:
-        sm_stats = [
-            SMStats(
-                sm_id=sm.sm_id,
-                instructions=sm.total_instructions,
-                issue_counts=sm.issue_counts(),
-                rf_reads=sm.total_rf_reads(),
-                bank_conflict_cycles=sm.total_bank_conflict_cycles(),
-                ctas_completed=sm.ctas_completed,
-                issue_stall_no_cu=sum(sc.issue_stall_no_cu for sc in sm.subcores),
-                issue_stall_no_ready=sum(sc.issue_stall_no_ready for sc in sm.subcores),
-                steals=sum(sc.steals for sc in sm.subcores),
-                migrations=sm.migrations,
-                rf_read_timeline=sm.rf_read_timeline,
-                warp_finish_cycles=list(sm.warp_finish_cycles),
-                cta_latencies=list(sm.cta_latencies),
+        sm_stats = []
+        for sm, b in zip(sms, base["sms"]):
+            sm_stats.append(
+                SMStats(
+                    sm_id=sm.sm_id,
+                    instructions=sm.total_instructions - b["instructions"],
+                    issue_counts=[
+                        n - b0
+                        for n, b0 in zip(sm.issue_counts(), b["issue_counts"])
+                    ],
+                    rf_reads=sm.total_rf_reads() - b["rf_reads"],
+                    bank_conflict_cycles=(
+                        sm.total_bank_conflict_cycles() - b["bank_conflict_cycles"]
+                    ),
+                    ctas_completed=sm.ctas_completed - b["ctas_completed"],
+                    issue_stall_no_cu=(
+                        sum(sc.issue_stall_no_cu for sc in sm.subcores)
+                        - b["issue_stall_no_cu"]
+                    ),
+                    issue_stall_no_ready=(
+                        sum(sc.issue_stall_no_ready for sc in sm.subcores)
+                        - b["issue_stall_no_ready"]
+                    ),
+                    steals=sum(sc.steals for sc in sm.subcores) - b["steals"],
+                    migrations=sm.migrations - b["migrations"],
+                    rf_read_timeline=(
+                        sm.rf_read_timeline[b["timeline_len"]:]
+                        if sm.rf_read_timeline is not None
+                        else None
+                    ),
+                    warp_finish_cycles=sm.warp_finish_cycles[b["finish_len"]:],
+                    cta_latencies=sm.cta_latencies[b["latency_len"]:],
+                )
             )
-            for sm in sms
-        ]
-        l1_hits = sum(sm.memory.l1.stats.hits for sm in sms)
-        l1_misses = sum(sm.memory.l1.stats.misses for sm in sms)
+        l1_hits = sum(
+            sm.memory.l1.stats.hits - b["l1_hits"]
+            for sm, b in zip(sms, base["sms"])
+        )
+        l1_misses = sum(
+            sm.memory.l1.stats.misses - b["l1_misses"]
+            for sm, b in zip(sms, base["sms"])
+        )
         return SimStats(
-            kernel_name=name if name is not None else trace.name,
+            kernel_name=name,
             config_name=self.config.name,
             cycles=cycles,
             instructions=sum(s.instructions for s in sm_stats),
             sms=sm_stats,
             l1_hits=l1_hits,
             l1_misses=l1_misses,
-            l2_hits=self.l2.stats.hits,
-            l2_misses=self.l2.stats.misses,
-            dram_accesses=self.dram.stats.accesses,
+            l2_hits=self.l2.stats.hits - base["l2_hits"],
+            l2_misses=self.l2.stats.misses - base["l2_misses"],
+            dram_accesses=self.dram.stats.accesses - base["dram_accesses"],
         )
 
 

@@ -38,6 +38,53 @@ class SMStats:
             return 0.0
         return float(counts.std() / mu)
 
+    # -- cache serialization ------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-safe dict that :meth:`from_payload` restores losslessly."""
+        return {
+            "sm_id": self.sm_id,
+            "instructions": self.instructions,
+            "issue_counts": list(self.issue_counts),
+            "rf_reads": self.rf_reads,
+            "bank_conflict_cycles": self.bank_conflict_cycles,
+            "ctas_completed": self.ctas_completed,
+            "issue_stall_no_cu": self.issue_stall_no_cu,
+            "issue_stall_no_ready": self.issue_stall_no_ready,
+            "steals": self.steals,
+            "migrations": self.migrations,
+            "rf_read_timeline": (
+                [list(entry) for entry in self.rf_read_timeline]
+                if self.rf_read_timeline is not None
+                else None
+            ),
+            "warp_finish_cycles": list(self.warp_finish_cycles),
+            "cta_latencies": list(self.cta_latencies),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SMStats":
+        timeline = payload["rf_read_timeline"]
+        return cls(
+            sm_id=payload["sm_id"],
+            instructions=payload["instructions"],
+            issue_counts=list(payload["issue_counts"]),
+            rf_reads=payload["rf_reads"],
+            bank_conflict_cycles=payload["bank_conflict_cycles"],
+            ctas_completed=payload["ctas_completed"],
+            issue_stall_no_cu=payload["issue_stall_no_cu"],
+            issue_stall_no_ready=payload["issue_stall_no_ready"],
+            steals=payload["steals"],
+            migrations=payload["migrations"],
+            rf_read_timeline=(
+                [tuple(entry) for entry in timeline]
+                if timeline is not None
+                else None
+            ),
+            warp_finish_cycles=list(payload["warp_finish_cycles"]),
+            cta_latencies=list(payload["cta_latencies"]),
+        )
+
 
 @dataclass
 class SimStats:
@@ -85,4 +132,42 @@ class SimStats:
             f"{self.kernel_name} on {self.config_name}: {self.cycles} cycles, "
             f"{self.instructions} instructions, IPC {self.ipc:.2f}, "
             f"issue CoV {self.issue_cov():.3f}"
+        )
+
+    # -- cache serialization ------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-safe dict that :meth:`from_payload` restores losslessly.
+
+        This is the on-disk format of the experiment engine's result cache
+        (:mod:`repro.experiments.engine`); round-tripping must preserve
+        equality — including timelines — or cached and freshly simulated
+        results would diverge.
+        """
+        return {
+            "kernel_name": self.kernel_name,
+            "config_name": self.config_name,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "sms": [sm.to_payload() for sm in self.sms],
+            "l1_hits": self.l1_hits,
+            "l1_misses": self.l1_misses,
+            "l2_hits": self.l2_hits,
+            "l2_misses": self.l2_misses,
+            "dram_accesses": self.dram_accesses,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SimStats":
+        return cls(
+            kernel_name=payload["kernel_name"],
+            config_name=payload["config_name"],
+            cycles=payload["cycles"],
+            instructions=payload["instructions"],
+            sms=[SMStats.from_payload(sm) for sm in payload["sms"]],
+            l1_hits=payload["l1_hits"],
+            l1_misses=payload["l1_misses"],
+            l2_hits=payload["l2_hits"],
+            l2_misses=payload["l2_misses"],
+            dram_accesses=payload["dram_accesses"],
         )

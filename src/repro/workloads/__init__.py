@@ -8,7 +8,7 @@ from .microbench import (
     fma_microbenchmark,
     scaled_imbalance_microbenchmark,
 )
-from .profiles import AppProfile
+from .profiles import PROFILE_VERSION, AppProfile
 from .registry import (
     COMPUTE_BOUND_APPS,
     EXPECTED_APP_COUNT,
@@ -33,6 +33,7 @@ __all__ = [
     "fma_microbenchmark",
     "scaled_imbalance_microbenchmark",
     "AppProfile",
+    "PROFILE_VERSION",
     "COMPUTE_BOUND_APPS",
     "EXPECTED_APP_COUNT",
     "RF_SENSITIVE_APPS",

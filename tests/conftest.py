@@ -5,8 +5,22 @@ from __future__ import annotations
 import pytest
 
 from repro.config import volta_v100
+from repro.experiments.engine import configure
 from repro.isa import Instruction, Opcode
 from repro.trace import TraceBuilder, WarpTrace, make_kernel
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _hermetic_engine_cache(tmp_path_factory):
+    """Point the process-wide experiment engine at a throwaway cache dir.
+
+    Keeps the suite from reading or writing the user's persistent result
+    cache (results from another simulator version must never leak into
+    test assertions).  Session-scoped: tests still share the in-memory
+    cache, which the figure tests rely on for speed.
+    """
+    configure(cache_dir=tmp_path_factory.mktemp("sim-cache"))
+    yield
 
 
 @pytest.fixture

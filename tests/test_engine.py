@@ -1,0 +1,218 @@
+"""Tests for the parallel, disk-cached experiment engine.
+
+Covers the cache layer (key stability across processes, invalidation on
+config changes, corrupted-file recovery), the parallel path (byte-identical
+to serial), robustness (timeout → in-parent retry, pool-unavailable →
+serial fallback), and the warm-cache contract (a re-run of a full figure
+experiment performs zero simulations).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro.experiments.engine as eng
+from repro.experiments import fig01_partitioning
+from repro.experiments.engine import (
+    ExperimentEngine,
+    SimPoint,
+    point_key,
+)
+from repro.experiments.export import dump_json
+from repro.workloads import app_names
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: Small cross-suite sample; REPRO_FULL=1 widens to the whole registry.
+SAMPLE_APPS = ["rod-nw", "ply-atax", "tpcU-q3", "db-rnn-inf"]
+
+POINT = SimPoint("rod-nw", "baseline")
+
+
+def serial_engine(tmp_path=None, **kw) -> ExperimentEngine:
+    if tmp_path is None:
+        kw.setdefault("use_disk_cache", False)
+        return ExperimentEngine(workers=1, **kw)
+    return ExperimentEngine(workers=1, cache_dir=tmp_path, **kw)
+
+
+class TestCacheKey:
+    def test_stable_across_fresh_processes(self):
+        script = (
+            "from repro.experiments.engine import SimPoint, point_key;"
+            "print(point_key(SimPoint('rod-nw', 'baseline')))"
+        )
+        keys = set()
+        for seed in ("0", "31337"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = seed
+            env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            ).stdout.strip()
+            keys.add(out)
+        assert keys == {point_key(POINT)}
+
+    def test_changes_when_config_field_changes(self, monkeypatch):
+        from repro.config import volta_v100
+        from repro.experiments import designs
+
+        base_key = point_key(SimPoint("rod-nw", "baseline"))
+        monkeypatch.setitem(
+            designs.DESIGNS,
+            "baseline",
+            lambda: volta_v100().replace(rf_banks_per_subcore=4),
+        )
+        assert point_key(SimPoint("rod-nw", "baseline")) != base_key
+
+    def test_distinguishes_point_fields(self):
+        keys = {
+            point_key(SimPoint("rod-nw", "baseline")),
+            point_key(SimPoint("rod-nw", "rba")),
+            point_key(SimPoint("rod-nw", "baseline", num_sms=2)),
+            point_key(SimPoint("rod-nw", "baseline", collect_timeline=True)),
+            point_key(SimPoint("rod-kmeans", "baseline")),
+        }
+        assert len(keys) == 5
+
+    def test_aliased_designs_share_a_key(self, monkeypatch):
+        # The key hashes the *resolved* config, not the design string: two
+        # names mapping to identical configs must share cache entries.
+        from repro.config import volta_v100
+        from repro.experiments import designs
+
+        monkeypatch.setitem(designs.DESIGNS, "baseline_alias", volta_v100)
+        assert point_key(SimPoint("rod-nw", "baseline_alias")) == point_key(
+            SimPoint("rod-nw", "baseline")
+        )
+
+
+class TestDiskCache:
+    def test_roundtrip_and_hit_counters(self, tmp_path):
+        e1 = serial_engine(tmp_path)
+        first = e1.run_point(POINT)
+        assert e1.profile.sims == 1
+        again = e1.run_point(POINT)
+        assert again is first  # memory hit
+        assert e1.profile.mem_hits == 1
+
+        e2 = serial_engine(tmp_path)  # fresh engine, same disk
+        cached = e2.run_point(POINT)
+        assert e2.profile.sims == 0
+        assert e2.profile.disk_hits == 1
+        assert cached == first
+        assert dump_json(cached) == dump_json(first)
+
+    def test_timeline_survives_roundtrip(self, tmp_path):
+        point = SimPoint("rod-nw", "baseline", collect_timeline=True)
+        fresh = serial_engine(tmp_path).run_point(point)
+        cached = serial_engine(tmp_path).run_point(point)
+        assert cached == fresh
+        tl = cached.sms[0].rf_read_timeline
+        assert tl and all(isinstance(entry, tuple) for entry in tl)
+
+    def test_corrupted_cache_file_recovers(self, tmp_path):
+        e1 = serial_engine(tmp_path)
+        fresh = e1.run_point(POINT)
+        path = e1.cache_path(point_key(POINT))
+        assert path.exists()
+        path.write_text("{ this is not json")
+
+        e2 = serial_engine(tmp_path)
+        recovered = e2.run_point(POINT)
+        assert recovered == fresh
+        assert e2.profile.disk_errors == 1
+        assert e2.profile.sims == 1
+        # The entry was rewritten and is valid again.
+        assert json.loads(path.read_text())["stats"]["cycles"] == fresh.cycles
+
+    def test_wrong_schema_is_ignored(self, tmp_path):
+        e1 = serial_engine(tmp_path)
+        fresh = e1.run_point(POINT)
+        path = e1.cache_path(point_key(POINT))
+        doc = json.loads(path.read_text())
+        doc["schema"] = -1
+        path.write_text(json.dumps(doc))
+        e2 = serial_engine(tmp_path)
+        assert e2.run_point(POINT) == fresh
+        assert e2.profile.sims == 1
+
+    def test_unwritable_cache_dir_degrades_gracefully(self, tmp_path):
+        blocked = tmp_path / "not-a-dir"
+        blocked.write_text("a file where the cache dir should be")
+        e = ExperimentEngine(workers=1, cache_dir=blocked / "sub")
+        stats = e.run_point(POINT)
+        assert stats.cycles > 0
+        assert e.profile.disk_errors >= 1
+
+
+class TestRunMany:
+    def test_dedup(self, tmp_path):
+        e = serial_engine(tmp_path)
+        out = e.run_many([POINT, POINT, SimPoint("rod-nw", "rba"), POINT])
+        assert set(out) == {POINT, SimPoint("rod-nw", "rba")}
+        assert e.profile.sims == 2
+
+    def test_parallel_matches_serial_byte_identical(self, tmp_path):
+        apps = app_names() if os.environ.get("REPRO_FULL") == "1" else SAMPLE_APPS
+        designs = ["baseline", "rba", "shuffle"]
+        points = [SimPoint(a, d) for a in apps for d in designs]
+
+        serial = serial_engine()  # no disk, no pool
+        parallel = ExperimentEngine(workers=2, cache_dir=tmp_path / "par")
+        got_serial = {p: serial.run_point(p) for p in points}
+        got_parallel = parallel.run_many(points)
+        assert parallel.profile.sims == len(points)
+
+        for p in points:
+            assert got_parallel[p] == got_serial[p], p
+            assert dump_json(got_parallel[p]) == dump_json(got_serial[p]), p
+
+    def test_timeout_retries_in_parent(self, tmp_path):
+        e = ExperimentEngine(workers=2, cache_dir=tmp_path, timeout=1e-6)
+        points = [POINT, SimPoint("rod-nw", "rba")]
+        out = e.run_many(points)
+        assert e.profile.retries >= 1
+        reference = serial_engine().run_point(POINT)
+        assert out[POINT] == reference
+
+    def test_pool_unavailable_falls_back_to_serial(self, tmp_path, monkeypatch):
+        e = ExperimentEngine(workers=4, cache_dir=tmp_path)
+
+        def broken_pool(n):
+            raise OSError("no processes for you")
+
+        monkeypatch.setattr(e, "_make_pool", broken_pool)
+        out = e.run_many([POINT, SimPoint("rod-nw", "rba")])
+        assert len(out) == 2
+        assert e.profile.sims == 2
+
+
+class TestWarmCacheFigure:
+    def test_figure_rerun_performs_zero_simulations(self, tmp_path):
+        old = eng._engine
+        try:
+            eng.configure(cache_dir=tmp_path, workers=1)
+            apps = ["rod-nw", "tpcU-q3"]
+            first = fig01_partitioning.run(apps=apps)
+            expected_points = len(apps) * (
+                1 + len(fig01_partitioning.DESIGNS)
+            )
+            assert eng.get_engine().profile.sims == expected_points
+
+            eng.configure(cache_dir=tmp_path, workers=1)  # fresh memory
+            second = fig01_partitioning.run(apps=apps)
+            prof = eng.get_engine().profile
+            assert prof.sims == 0
+            assert prof.disk_hits == expected_points
+            assert first.rows == second.rows
+        finally:
+            eng._engine = old

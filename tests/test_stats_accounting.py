@@ -1,0 +1,125 @@
+"""Regression tests for stats accounting across runs and CTA lifecycles.
+
+Covers three historical bugs:
+
+* ``GPU.run`` reported cumulative L1/L2/DRAM and per-SM counters, so a
+  second ``run()`` on the same GPU included the first kernel's work;
+* CTA release derived per-warp registers as ``tb.regs // tb.num_warps``
+  instead of reusing the figure charged at admission, drifting (and
+  stranding RF space) whenever the division was inexact;
+* ``GPU.__init__`` built a thread-block scheduler that ``run()`` shadowed
+  immediately, and ``run_concurrent`` attributed its stats to the first
+  kernel's trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import GPU, volta_v100
+from repro.trace import CTATrace, KernelTrace
+
+from .conftest import fma_warp, simple_kernel
+
+
+def _counters(stats):
+    return {
+        "instructions": stats.instructions,
+        "l1_hits": stats.l1_hits,
+        "l1_misses": stats.l1_misses,
+        "l2_hits": stats.l2_hits,
+        "l2_misses": stats.l2_misses,
+        "dram_accesses": stats.dram_accesses,
+        "ctas": sum(sm.ctas_completed for sm in stats.sms),
+        "rf_reads": sum(sm.rf_reads for sm in stats.sms),
+        "issue_counts": [sm.issue_counts for sm in stats.sms],
+        "finish_events": sum(len(sm.warp_finish_cycles) for sm in stats.sms),
+    }
+
+
+class TestSequentialRunsReportPerRunDeltas:
+    def test_second_run_does_not_include_first(self):
+        kernel = simple_kernel(warps=8, insts=32)
+        gpu = GPU(volta_v100(), num_sms=1)
+        first = gpu.run(kernel)
+        second = gpu.run(kernel)
+
+        fresh = GPU(volta_v100(), num_sms=1).run(kernel)
+        assert _counters(first) == _counters(fresh)
+        # Same kernel, same instruction/CTA population per run — only the
+        # warm shared L2 may legitimately shift the hit/miss split.
+        assert second.instructions == first.instructions
+        s1, s2 = _counters(first), _counters(second)
+        assert s2["ctas"] == s1["ctas"]
+        assert s2["finish_events"] == s1["finish_events"]
+
+    def test_cumulative_counters_split_across_runs(self):
+        kernel = simple_kernel(warps=8, insts=32)
+        gpu = GPU(volta_v100(), num_sms=1)
+        first = gpu.run(kernel)
+        second = gpu.run(kernel)
+        # The per-run deltas must partition the GPU-lifetime totals.
+        assert gpu.l2.stats.hits == first.l2_hits + second.l2_hits
+        assert gpu.l2.stats.misses == first.l2_misses + second.l2_misses
+        assert gpu.dram.stats.accesses == (
+            first.dram_accesses + second.dram_accesses
+        )
+        l1 = gpu.sms[0].memory.l1.stats
+        assert l1.hits == first.l1_hits + second.l1_hits
+        assert l1.misses == first.l1_misses + second.l1_misses
+        assert gpu.sms[0].total_instructions == (
+            first.instructions + second.instructions
+        )
+
+    def test_timeline_not_replayed_across_runs(self):
+        kernel = simple_kernel(warps=8, insts=32)
+        gpu = GPU(volta_v100(), num_sms=1, collect_timeline=True)
+        first = gpu.run(kernel)
+        second = gpu.run(kernel)
+        assert first.sms[0].rf_read_timeline
+        # Per-run slices: the second run's timeline starts after the first's.
+        first_cycles = {c for c, _ in first.sms[0].rf_read_timeline}
+        second_cycles = {c for c, _ in second.sms[0].rf_read_timeline}
+        assert not (first_cycles & second_cycles)
+
+
+class TestRegisterAccounting:
+    def test_non_divisible_regs_release_exactly_what_was_charged(self):
+        # CTAs of unequal warp counts: the old release path divided the
+        # first CTA's register total by *this* CTA's warp count, releasing
+        # more than was charged and corrupting ``registers_used``.
+        ctas = [
+            CTATrace([fma_warp(16) for _ in range(3)]),
+            CTATrace([fma_warp(16) for _ in range(2)]),
+        ]
+        kernel = KernelTrace("mixed-ctas", ctas, regs_per_thread=8)
+        gpu = GPU(volta_v100(), num_sms=1)
+        gpu.run(kernel)
+        for sc in gpu.sms[0].subcores:
+            assert sc.registers_used == 0
+
+    def test_admission_charge_matches_threadblock_record(self):
+        kernel = simple_kernel(warps=4, insts=8)
+        gpu = GPU(volta_v100(), num_sms=1)
+        sm = gpu.sms[0]
+        assert sm.try_allocate_cta(kernel, kernel.ctas[0], 0, now=0)
+        tb = sm.resident_ctas[0]
+        assert tb.regs_per_warp == kernel.regs_per_warp()
+        assert tb.regs == tb.regs_per_warp * tb.num_warps
+        charged = sum(sc.registers_used for sc in sm.subcores)
+        assert charged == tb.regs_per_warp * tb.num_warps
+
+
+class TestSchedulerLifecycle:
+    def test_gpu_has_no_dead_tb_scheduler_attribute(self):
+        gpu = GPU(volta_v100(), num_sms=1)
+        assert not hasattr(gpu, "tb_scheduler")
+
+    def test_run_concurrent_names_all_kernels(self):
+        a = simple_kernel(warps=4, insts=16, name="alpha")
+        b = simple_kernel(warps=4, insts=16, name="beta")
+        stats = GPU(volta_v100(), num_sms=1).run_concurrent([a, b])
+        assert stats.kernel_name == "alpha+beta"
+        solo_a = GPU(volta_v100(), num_sms=1).run(a)
+        solo_b = GPU(volta_v100(), num_sms=1).run(b)
+        assert stats.instructions == solo_a.instructions + solo_b.instructions

@@ -67,10 +67,10 @@ class TestScoreboard:
 
 class TestReadyPoolSync:
     def test_pool_tracks_transitions(self):
-        pool = set()
+        pool = {}  # dict-as-set, insertion-ordered (see SubCore.ready)
         w = make_warp([fadd(0, 1, 2), fadd(3, 0, 1)])
         w.ready_pool = pool
-        pool.add(w)
+        pool[w] = None
         w.note_issue(w.next_instruction)
         assert w not in pool  # blocked on R0
         w.complete_write(0)
