@@ -15,6 +15,9 @@ Engine options (see repro.experiments.engine)::
                      # (default: $REPRO_CACHE_DIR or ~/.cache/repro-sim)
     --no-cache       # disable the on-disk result cache
     --profile        # print cache hit/miss counters and slowest points
+    --sanitize       # run every simulation with the runtime invariant
+                     # sanitizer installed (see repro.analysis); results
+                     # are identical, runs are slower and cached apart
 """
 
 from __future__ import annotations
@@ -64,6 +67,7 @@ def _parse_args(args: List[str]) -> Tuple[dict, List[str]]:
         "cache_dir": None,
         "no_cache": False,
         "profile": False,
+        "sanitize": False,
     }
     names: List[str] = []
     i = 0
@@ -73,6 +77,8 @@ def _parse_args(args: List[str]) -> Tuple[dict, List[str]]:
             opts["no_cache"] = True
         elif arg == "--profile":
             opts["profile"] = True
+        elif arg == "--sanitize":
+            opts["sanitize"] = True
         elif arg.startswith("--workers") or arg.startswith("--cache-dir"):
             flag, sep, value = arg.partition("=")
             if not sep:
@@ -128,6 +134,7 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=opts["cache_dir"],
         use_disk_cache=not opts["no_cache"],
         progress=sys.stderr.isatty(),
+        sanitize=opts["sanitize"],
     )
 
     for name in names:

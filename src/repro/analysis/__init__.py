@@ -1,0 +1,39 @@
+"""Static and dynamic correctness checking for the simulator ("simcheck").
+
+Two halves, one contract (see ``docs/determinism.md``):
+
+* :mod:`repro.analysis.linter` — an AST-based **determinism linter**
+  (rules RPR001..RPR006) that flags the hazard classes known to corrupt
+  cycle-level simulation results: hash-ordered iteration, unkeyed sorts of
+  hash-derived containers, unseeded RNG use, wall-clock reads, ``id()`` /
+  ``hash()`` values, and mutable default arguments.
+* :mod:`repro.analysis.invariants` — an opt-in **runtime invariant
+  sanitizer** (``GPUConfig.sanitize=True``) installing per-cycle
+  conservation checks across the core model; violations raise a
+  structured :class:`InvariantViolation` naming the cycle, SM, sub-core
+  and counter.
+
+Run both from the command line::
+
+    python -m repro.analysis --lint src/repro      # static gate (CI)
+    python -m repro.analysis --sanitize-smoke      # dynamic gate (CI)
+
+The sanitizer smoke grid lives in :mod:`repro.analysis.smoke`; it is
+imported lazily because it pulls in the whole simulator, while the linter
+half must stay importable from :mod:`repro.core` without cycles.
+"""
+
+from .invariants import InvariantViolation, Sanitizer
+from .linter import Finding, LintReport, lint_paths, lint_source
+from .rules import RULES, Rule
+
+__all__ = [
+    "Finding",
+    "InvariantViolation",
+    "LintReport",
+    "RULES",
+    "Rule",
+    "Sanitizer",
+    "lint_paths",
+    "lint_source",
+]

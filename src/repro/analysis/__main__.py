@@ -1,0 +1,129 @@
+"""Command-line entry point for simcheck (the repro.analysis gates).
+
+Usage::
+
+    python -m repro.analysis --lint [PATH ...]     # determinism linter
+    python -m repro.analysis --sanitize-smoke      # runtime invariant grid
+    python -m repro.analysis --list-rules          # rule reference
+
+Lint options:
+
+    --github        emit GitHub Actions ::error annotations in addition to
+                    the human-readable lines (auto-enabled when the
+                    GITHUB_ACTIONS environment variable is set)
+
+Smoke options:
+
+    --apps A,B,C    comma-separated workload names (default cg-lou,
+                    pb-sgemm, tpcU-q8)
+    --designs X,Y   comma-separated design names (default baseline, srr,
+                    rba)
+    --num-sms N     SMs per simulated GPU (default 1)
+
+With no PATH, ``--lint`` checks the installed ``repro`` package sources.
+Exit status: 0 clean, 1 findings / violations, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List, Optional
+
+from .linter import lint_paths, rule_listing
+
+
+def _lint(paths: List[str], github: bool) -> int:
+    if not paths:
+        import repro
+
+        paths = [os.path.dirname(os.path.abspath(repro.__file__))]
+    report = lint_paths(paths)
+    for finding in report.unsuppressed:
+        print(finding.format())
+        if github:
+            print(finding.format_github())
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _sanitize_smoke(apps: Optional[str], designs: Optional[str], num_sms: int) -> int:
+    from .invariants import InvariantViolation
+    from .smoke import DEFAULT_APPS, DEFAULT_DESIGNS, run_smoke_grid
+
+    app_list = [a for a in (apps or ",".join(DEFAULT_APPS)).split(",") if a]
+    design_list = [d for d in (designs or ",".join(DEFAULT_DESIGNS)).split(",") if d]
+    try:
+        report = run_smoke_grid(app_list, design_list, num_sms=num_sms)
+    except InvariantViolation as exc:
+        print(f"sanitize-smoke: FAILED\n{exc}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if "-h" in args or "--help" in args:
+        print(__doc__)
+        return 0
+    if not args:
+        # Bare ``python -m repro.analysis``: lint the installed package.
+        return _lint([], bool(os.environ.get("GITHUB_ACTIONS")))
+
+    mode: Optional[str] = None
+    paths: List[str] = []
+    github = bool(os.environ.get("GITHUB_ACTIONS"))
+    apps: Optional[str] = None
+    designs: Optional[str] = None
+    num_sms = 1
+
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--lint":
+            mode = "lint"
+        elif arg == "--sanitize-smoke":
+            mode = "smoke"
+        elif arg == "--list-rules":
+            mode = "rules"
+        elif arg == "--github":
+            github = True
+        elif arg.startswith(("--apps", "--designs", "--num-sms")):
+            flag, sep, value = arg.partition("=")
+            if not sep:
+                i += 1
+                if i >= len(args):
+                    print(f"{flag} requires a value", file=sys.stderr)
+                    return 2
+                value = args[i]
+            if flag == "--apps":
+                apps = value
+            elif flag == "--designs":
+                designs = value
+            else:
+                try:
+                    num_sms = int(value)
+                except ValueError:
+                    print(f"--num-sms expects an integer, got {value!r}", file=sys.stderr)
+                    return 2
+        elif arg.startswith("-"):
+            print(f"unknown option: {arg}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+        i += 1
+
+    if mode == "rules":
+        print(rule_listing())
+        return 0
+    if mode == "smoke":
+        return _sanitize_smoke(apps, designs, num_sms)
+    if mode == "lint":
+        return _lint(paths, github)
+    print("choose a mode: --lint, --sanitize-smoke or --list-rules", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

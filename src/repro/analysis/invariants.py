@@ -1,0 +1,277 @@
+"""The runtime invariant sanitizer: per-cycle conservation checks.
+
+Enabled with ``GPUConfig.sanitize=True`` (CLI: ``python -m repro
+--sanitize``, smoke gate: ``python -m repro.analysis --sanitize-smoke``).
+The sanitizer is strictly read-only — a sanitized run produces stats
+byte-identical to an unsanitized one — and checks, every stepped cycle:
+
+* **register accounting** — per-sub-core ``registers_used`` within
+  ``[0, bank capacity]``, and the SM total equal to the sum of resident
+  CTAs' admission charges (``regs_per_warp × num_warps``), so frees always
+  match charges;
+* **collector units** — ``pending_operands`` within
+  ``[0, num_src_operands]``, the busy-CU cache consistent with the CU
+  array, occupancy within the configured CU count;
+* **arbitration** — the cached ``pending`` count equal to the summed
+  queue lengths *and* to the summed pending operands of busy CUs (every
+  queued read belongs to exactly one collector slot);
+* **scheduler pools** — the ready pool and the warp list agree on which
+  warps are READY;
+* **shared memory / CTA residency** — within configured capacity and
+  equal to the resident CTAs' footprints;
+* **issue accounting** — the SM's instruction counter equal to the sum
+  of its sub-core schedulers' counters.
+
+At kernel end (:meth:`Sanitizer.end_of_kernel`): warps launched ==
+warps retired, no residual CTA, queued read, or busy CU.  On collected
+stats (:meth:`Sanitizer.check_run_stats`): every per-run delta
+non-negative and sub-core counters summing to SM/GPU totals (the
+conservation half lives in :meth:`repro.metrics.SMStats
+.conservation_errors`, so the stats layer stays import-free of this
+module).
+
+A failed check raises :class:`InvariantViolation` naming the invariant,
+cycle, SM, sub-core and counter, with expected and actual values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..config import GPUConfig
+    from ..core.sm import StreamingMultiprocessor
+    from ..metrics import SimStats
+
+
+class InvariantViolation(AssertionError):
+    """A cycle-level model invariant failed.
+
+    Structured so tests (and humans) can see exactly which counter broke
+    where: ``invariant`` is a stable name, ``cycle``/``sm_id``/
+    ``subcore_id`` locate the violation, ``counter`` names the model
+    quantity, ``expected``/``actual`` carry the two sides of the failed
+    equation.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        *,
+        cycle: Optional[int] = None,
+        sm_id: Optional[int] = None,
+        subcore_id: Optional[int] = None,
+        counter: Optional[str] = None,
+        expected: Any = None,
+        actual: Any = None,
+    ):
+        self.invariant = invariant
+        self.cycle = cycle
+        self.sm_id = sm_id
+        self.subcore_id = subcore_id
+        self.counter = counter
+        self.expected = expected
+        self.actual = actual
+        where = []
+        if cycle is not None:
+            where.append(f"cycle {cycle}")
+        if sm_id is not None:
+            where.append(f"SM {sm_id}")
+        if subcore_id is not None:
+            where.append(f"sub-core {subcore_id}")
+        loc = ", ".join(where) or "end of run"
+        detail = message
+        if counter is not None:
+            detail += f" [counter={counter}"
+            if expected is not None or actual is not None:
+                detail += f", expected={expected!r}, actual={actual!r}"
+            detail += "]"
+        super().__init__(f"[{invariant}] at {loc}: {detail}")
+
+
+class Sanitizer:
+    """Read-only invariant checker installed on each SM when enabled.
+
+    The hook points live in the model classes themselves
+    (``ArbitrationUnit.queued_requests``, ``CollectorUnit.validate``,
+    ``SubCore.validate``); the sanitizer composes them into SM- and
+    run-level conservation equations so each layer only asserts what it
+    can see locally.
+    """
+
+    def __init__(self, config: "GPUConfig"):
+        self.config = config
+        self.checks_run = 0
+
+    # -- per-cycle --------------------------------------------------------
+
+    def check_sm(self, sm: "StreamingMultiprocessor", now: int) -> None:
+        """All per-cycle invariants of one SM (called at end of SM.step)."""
+        self.checks_run += 1
+        cfg = self.config
+        sm_id = sm.sm_id
+
+        total_regs_used = 0
+        total_issued = 0
+        for sc in sm.subcores:
+            scid = sc.subcore_id
+            for error in sc.validate():
+                raise InvariantViolation(
+                    error.pop("invariant"),
+                    error.pop("message"),
+                    cycle=now,
+                    sm_id=sm_id,
+                    subcore_id=scid,
+                    **error,
+                )
+            total_regs_used += sc.registers_used
+            total_issued += sc.instructions_issued
+
+        charged = sum(tb.regs_per_warp * tb.num_warps for tb in sm.resident_ctas)
+        if total_regs_used != charged:
+            raise InvariantViolation(
+                "rf-conservation",
+                "sub-core register charges do not match resident CTA demand "
+                "(a free missed or exceeded its charge)",
+                cycle=now,
+                sm_id=sm_id,
+                counter="registers_used",
+                expected=charged,
+                actual=total_regs_used,
+            )
+
+        shared_expected = sum(tb.shared_mem for tb in sm.resident_ctas)
+        if sm.shared_mem_used != shared_expected:
+            raise InvariantViolation(
+                "shared-mem-conservation",
+                "shared memory in use does not match resident CTA footprints",
+                cycle=now,
+                sm_id=sm_id,
+                counter="shared_mem_used",
+                expected=shared_expected,
+                actual=sm.shared_mem_used,
+            )
+        if not 0 <= sm.shared_mem_used <= cfg.shared_mem_per_sm:
+            raise InvariantViolation(
+                "shared-mem-capacity",
+                "shared memory usage outside configured capacity",
+                cycle=now,
+                sm_id=sm_id,
+                counter="shared_mem_used",
+                expected=f"0..{cfg.shared_mem_per_sm}",
+                actual=sm.shared_mem_used,
+            )
+
+        if len(sm.resident_ctas) > cfg.max_ctas_per_sm:
+            raise InvariantViolation(
+                "cta-residency",
+                "more resident CTAs than the configured maximum",
+                cycle=now,
+                sm_id=sm_id,
+                counter="resident_ctas",
+                expected=cfg.max_ctas_per_sm,
+                actual=len(sm.resident_ctas),
+            )
+
+        if sm.total_instructions != total_issued:
+            raise InvariantViolation(
+                "issue-accounting",
+                "SM instruction counter diverged from the sum of sub-core "
+                "scheduler counters",
+                cycle=now,
+                sm_id=sm_id,
+                counter="total_instructions",
+                expected=total_issued,
+                actual=sm.total_instructions,
+            )
+
+        launched = sm._warp_id_counter
+        retired = len(sm.warp_finish_cycles)
+        in_flight = sum(
+            1 for sc in sm.subcores for w in sc.warps if not w.done
+        )
+        if launched != retired + in_flight:
+            raise InvariantViolation(
+                "warp-conservation",
+                "warps launched != retired + in-flight",
+                cycle=now,
+                sm_id=sm_id,
+                counter="warps",
+                expected=launched,
+                actual=retired + in_flight,
+            )
+
+    # -- end of kernel ----------------------------------------------------
+
+    def end_of_kernel(self, sm: "StreamingMultiprocessor", now: int) -> None:
+        """Drain invariants once a kernel's work has fully completed."""
+        sm_id = sm.sm_id
+        if sm.resident_ctas:
+            raise InvariantViolation(
+                "drain-ctas",
+                "resident CTAs at kernel end",
+                cycle=now,
+                sm_id=sm_id,
+                counter="resident_ctas",
+                expected=0,
+                actual=len(sm.resident_ctas),
+            )
+        launched = sm._warp_id_counter
+        retired = len(sm.warp_finish_cycles)
+        if launched != retired:
+            raise InvariantViolation(
+                "warp-conservation",
+                "warps launched != warps retired at kernel end",
+                cycle=now,
+                sm_id=sm_id,
+                counter="warps",
+                expected=launched,
+                actual=retired,
+            )
+        for sc in sm.subcores:
+            if sc.arbitration.pending or sc.arbitration.queued_requests():
+                raise InvariantViolation(
+                    "drain-arbitration",
+                    "arbitration queues not drained at kernel end",
+                    cycle=now,
+                    sm_id=sm_id,
+                    subcore_id=sc.subcore_id,
+                    counter="arbitration.pending",
+                    expected=0,
+                    actual=sc.arbitration.pending,
+                )
+            busy = sum(1 for cu in sc.collector_units if not cu.free)
+            if busy:
+                raise InvariantViolation(
+                    "drain-collector-units",
+                    "collector units still occupied at kernel end",
+                    cycle=now,
+                    sm_id=sm_id,
+                    subcore_id=sc.subcore_id,
+                    counter="busy_cus",
+                    expected=0,
+                    actual=busy,
+                )
+            if sc.registers_used:
+                raise InvariantViolation(
+                    "rf-conservation",
+                    "register-file space still charged at kernel end",
+                    cycle=now,
+                    sm_id=sm_id,
+                    subcore_id=sc.subcore_id,
+                    counter="registers_used",
+                    expected=0,
+                    actual=sc.registers_used,
+                )
+
+    # -- collected stats ---------------------------------------------------
+
+    def check_run_stats(self, stats: "SimStats") -> None:
+        """Conservation cross-checks on a run's collected per-run deltas."""
+        for error in stats.conservation_errors():
+            raise InvariantViolation(
+                "stats-conservation",
+                error,
+                counter="stats",
+            )

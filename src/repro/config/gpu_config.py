@@ -125,6 +125,14 @@ class GPUConfig:
     #: transfers between sub-core register files.
     migration_latency: int = 64
 
+    # -- checking -----------------------------------------------------------
+    #: Install the runtime invariant sanitizer (repro.analysis): per-cycle
+    #: conservation checks across register allocation, collector units,
+    #: arbitration queues and warp/CTA lifecycles, raising a structured
+    #: ``InvariantViolation`` on the first inconsistency.  Read-only: a
+    #: sanitized run's stats are byte-identical to an unsanitized run's.
+    sanitize: bool = False
+
     # -- execution units per sub-core ---------------------------------------
     fp32_lanes: int = 16
     int_lanes: int = 16

@@ -123,3 +123,38 @@ class ArbitrationUnit:
     def bank_idle(self, bank: int) -> bool:
         """True when a bank's queue is empty (a bank-stealing opportunity)."""
         return not self.queues[bank]
+
+    # -- sanitizer hooks -----------------------------------------------------
+
+    def queued_requests(self) -> int:
+        """Ground truth for ``pending``: summed per-bank queue lengths."""
+        return sum(len(q) for q in self.queues)
+
+    def validate(self) -> list:
+        """Queue-accounting invariants (consumed by the sanitizer)."""
+        errors = []
+        queued = self.queued_requests()
+        if self.pending != queued:
+            errors.append(
+                {
+                    "invariant": "arbitration-accounting",
+                    "message": (
+                        "cached pending count diverged from summed queue "
+                        "lengths (an enqueue or grant went unaccounted)"
+                    ),
+                    "counter": "arbitration.pending",
+                    "expected": queued,
+                    "actual": self.pending,
+                }
+            )
+        if self.pending < 0 or self.total_grants < 0 or self.conflict_cycles < 0:
+            errors.append(
+                {
+                    "invariant": "arbitration-accounting",
+                    "message": "negative arbitration counter",
+                    "counter": "arbitration.counters",
+                    "expected": ">= 0",
+                    "actual": (self.pending, self.total_grants, self.conflict_cycles),
+                }
+            )
+        return errors

@@ -55,3 +55,50 @@ class CollectorUnit:
         self.instruction = None
         self.pending_operands = 0
         self.allocated_cycle = -1
+
+    # -- sanitizer hook ------------------------------------------------------
+
+    def validate(self) -> list:
+        """Occupancy invariants of this CU (consumed by the sanitizer).
+
+        Returns a list of structured error dicts; empty when consistent.
+        """
+        errors = []
+        if self.free:
+            if self.pending_operands != 0:
+                errors.append(
+                    {
+                        "invariant": "cu-occupancy",
+                        "message": f"free CU {self.cu_id} has pending operands",
+                        "counter": "pending_operands",
+                        "expected": 0,
+                        "actual": self.pending_operands,
+                    }
+                )
+            return errors
+        assert self.instruction is not None
+        limit = self.instruction.num_src_operands
+        if not 0 <= self.pending_operands <= limit:
+            errors.append(
+                {
+                    "invariant": "cu-occupancy",
+                    "message": (
+                        f"CU {self.cu_id} pending operands outside "
+                        "[0, num_src_operands]"
+                    ),
+                    "counter": "pending_operands",
+                    "expected": f"0..{limit}",
+                    "actual": self.pending_operands,
+                }
+            )
+        if self.warp is None:
+            errors.append(
+                {
+                    "invariant": "cu-occupancy",
+                    "message": f"occupied CU {self.cu_id} has no warp",
+                    "counter": "warp",
+                    "expected": "a warp",
+                    "actual": None,
+                }
+            )
+        return errors

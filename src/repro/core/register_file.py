@@ -43,3 +43,19 @@ class RegisterFile:
 
     def note_write(self) -> None:
         self.writes += 1
+
+    # -- sanitizer hook ------------------------------------------------------
+
+    def validate(self) -> list:
+        """Counter invariants of this RF slice (consumed by the sanitizer)."""
+        if self.reads < 0 or self.writes < 0:
+            return [
+                {
+                    "invariant": "rf-accounting",
+                    "message": "negative register-file access counter",
+                    "counter": "register_file.reads/writes",
+                    "expected": ">= 0",
+                    "actual": (self.reads, self.writes),
+                }
+            ]
+        return []

@@ -16,6 +16,7 @@ import itertools
 from collections import Counter
 from typing import Dict, List, Optional, Tuple
 
+from ..analysis.invariants import Sanitizer
 from ..config import GPUConfig
 from ..isa import Instruction
 from ..memory import MemorySubsystem
@@ -49,9 +50,17 @@ class StreamingMultiprocessor:
         self.shared_mem_used = 0
         self.shared_conflict_degree = 1
 
-        self._wb_heap: List[Tuple[int, int, Warp, int]] = []
+        # Entries are (cycle, seq, warp, reg); ``reg is None`` marks a
+        # migration-arrival event rather than a register writeback.
+        self._wb_heap: List[Tuple[int, int, Warp, Optional[int]]] = []
         self._seq = itertools.count()
         self._warp_id_counter = 0
+
+        #: Per-cycle invariant checks (GPUConfig.sanitize); read-only, so
+        #: sanitized runs stay byte-identical to unsanitized ones.
+        self.sanitizer: Optional[Sanitizer] = (
+            Sanitizer(config) if config.sanitize else None
+        )
 
         # statistics
         self.total_instructions = 0
@@ -188,6 +197,9 @@ class StreamingMultiprocessor:
 
         if self.rf_read_timeline is not None and grants:
             self.rf_read_timeline.append((now, grants))
+
+        if self.sanitizer is not None:
+            self.sanitizer.check_sm(self, now)
 
     def _try_steal(self, now: int) -> None:
         """Dynamic warp migration (Sec. VII's work-stealing design).

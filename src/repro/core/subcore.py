@@ -137,7 +137,7 @@ class SubCore:
             self.issue_stall_no_ready += 1
             return 0
         issued = 0
-        issued_warps: Set = set()
+        issued_warps: Set[Warp] = set()  # membership-only; never iterated
         for _ in range(self.config.issue_width):
             if issued_warps:
                 candidates = [w for w in self.ready if w not in issued_warps]
@@ -230,6 +230,107 @@ class SubCore:
         if inst.dst_reg is not None:
             self.register_file.note_write()
             self.sm.schedule_writeback(t_done, warp, inst.dst_reg)
+
+    # -- sanitizer hook -------------------------------------------------------------
+
+    def validate(self) -> List[dict]:
+        """Per-cycle occupancy/accounting invariants of this sub-core.
+
+        Consumed by :class:`repro.analysis.Sanitizer`; returns structured
+        error dicts (empty when consistent).  Checks are read-only so a
+        sanitized run stays byte-identical to an unsanitized one.
+        """
+        errors: List[dict] = []
+        if not 0 <= self.registers_used <= self.max_registers:
+            errors.append(
+                {
+                    "invariant": "rf-capacity",
+                    "message": (
+                        "register charge outside bank capacity (an alloc "
+                        "overran or a free over-released)"
+                    ),
+                    "counter": "registers_used",
+                    "expected": f"0..{self.max_registers}",
+                    "actual": self.registers_used,
+                }
+            )
+        if len(self.warps) > self.max_warps:
+            errors.append(
+                {
+                    "invariant": "warp-slots",
+                    "message": "more resident warps than slots",
+                    "counter": "warps",
+                    "expected": self.max_warps,
+                    "actual": len(self.warps),
+                }
+            )
+
+        busy = sum(1 for cu in self.collector_units if not cu.free)
+        if busy != self._busy_cus:
+            errors.append(
+                {
+                    "invariant": "cu-occupancy",
+                    "message": (
+                        "busy-CU cache diverged from the collector-unit "
+                        "array (an allocate/release went unaccounted)"
+                    ),
+                    "counter": "busy_cus",
+                    "expected": busy,
+                    "actual": self._busy_cus,
+                }
+            )
+        for cu in self.collector_units:
+            errors.extend(cu.validate())
+
+        errors.extend(self.arbitration.validate())
+        errors.extend(self.register_file.validate())
+
+        # Every queued bank read belongs to exactly one pending CU operand.
+        cu_pending = sum(cu.pending_operands for cu in self.collector_units)
+        queued = self.arbitration.queued_requests()
+        if queued != cu_pending:
+            errors.append(
+                {
+                    "invariant": "arbitration-conservation",
+                    "message": (
+                        "queued bank reads do not match pending collector "
+                        "operands"
+                    ),
+                    "counter": "arbitration.pending",
+                    "expected": cu_pending,
+                    "actual": queued,
+                }
+            )
+
+        # Ready pool and warp list must agree on READY membership.
+        for w in self.ready:
+            if w not in self.warps or w.state is not WarpState.READY:
+                errors.append(
+                    {
+                        "invariant": "ready-pool",
+                        "message": (
+                            f"warp {w.warp_id} in the ready pool but "
+                            f"{'not resident' if w not in self.warps else 'not READY'}"
+                        ),
+                        "counter": "ready",
+                        "expected": "resident READY warps only",
+                        "actual": w.state.value,
+                    }
+                )
+        for w in self.warps:
+            if w.state is WarpState.READY and w not in self.ready:
+                errors.append(
+                    {
+                        "invariant": "ready-pool",
+                        "message": f"READY warp {w.warp_id} missing from the ready pool",
+                        "counter": "ready",
+                        "expected": "all READY warps",
+                        "actual": "missing",
+                    }
+                )
+
+        errors.extend(self.scheduler.validate(self.warps))
+        return errors
 
     # -- fast-forward support -------------------------------------------------------
 

@@ -15,6 +15,7 @@ from typing import Dict, Optional, Set, TYPE_CHECKING
 from ..isa import Instruction
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..trace import WarpTrace
     from .thread_block import ThreadBlock
 
 
@@ -47,7 +48,14 @@ class Warp:
         "ready_pool",
     )
 
-    def __init__(self, warp_id: int, cta: "ThreadBlock", trace, subcore_id: int, age: int):
+    def __init__(
+        self,
+        warp_id: int,
+        cta: "ThreadBlock",
+        trace: "WarpTrace",
+        subcore_id: int,
+        age: int,
+    ):
         self.warp_id = warp_id
         self.cta = cta
         self.trace = trace

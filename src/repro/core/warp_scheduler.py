@@ -58,6 +58,30 @@ class WarpScheduler:
     ) -> Optional[Warp]:
         return None
 
+    # -- sanitizer hook ------------------------------------------------------
+
+    def validate(self, resident: Sequence[Warp]) -> List[dict]:
+        """Scheduler-state invariants (consumed by the sanitizer).
+
+        ``last_issued`` must never point at a warp that left this
+        sub-core — a stale pointer would let GTO greedily re-issue a
+        migrated/retired warp's successor state.
+        """
+        if self.last_issued is not None and self.last_issued not in resident:
+            return [
+                {
+                    "invariant": "scheduler-state",
+                    "message": (
+                        f"last_issued warp {self.last_issued.warp_id} is "
+                        "no longer resident on this sub-core"
+                    ),
+                    "counter": "scheduler.last_issued",
+                    "expected": "a resident warp or None",
+                    "actual": self.last_issued.warp_id,
+                }
+            ]
+        return []
+
 
 class LRRScheduler(WarpScheduler):
     name = "lrr"
@@ -126,7 +150,10 @@ class BankStealingScheduler(GTOScheduler):
         rf = self.register_file
         for w in sorted(candidates, key=lambda c: c.age):
             banks = rf.src_banks(w.next_instruction, w.warp_id)
-            if banks and all(arb.bank_idle(b) for b in set(banks)):
+            # Iterate the tuple directly: duplicate banks re-check the same
+            # idle queue harmlessly, and no set order ever feeds the result
+            # (simlint RPR001).
+            if banks and all(arb.bank_idle(b) for b in banks):
                 return w
         return None
 

@@ -111,9 +111,12 @@ class EngineProfile:
         return "\n".join(lines)
 
 
-def resolved_config(point: SimPoint) -> GPUConfig:
+def resolved_config(point: SimPoint, sanitize: bool = False) -> GPUConfig:
     """The effective config a point simulates (design + num_sms applied)."""
-    return get_design(point.design).replace(num_sms=point.num_sms)
+    config = get_design(point.design).replace(num_sms=point.num_sms)
+    if sanitize:
+        config = config.replace(sanitize=True)
+    return config
 
 
 def config_key_fields(config: GPUConfig) -> dict:
@@ -121,7 +124,7 @@ def config_key_fields(config: GPUConfig) -> dict:
     return dataclasses.asdict(config)
 
 
-def point_key(point: SimPoint) -> str:
+def point_key(point: SimPoint, sanitize: bool = False) -> str:
     """Stable content hash identifying a point's simulation inputs.
 
     The key covers the full resolved config, the workload's name *and*
@@ -129,11 +132,15 @@ def point_key(point: SimPoint) -> str:
     the trace-synthesis :data:`PROFILE_VERSION`, the simulator version,
     and the timeline flag.  It deliberately excludes the design *name*:
     two names resolving to identical configs share cache entries.
+    ``sanitize`` is part of the config and therefore of the key: sanitized
+    runs must be byte-identical to plain ones (that's what the smoke gate
+    asserts), but they never *share* cache entries, so a sanitizer bug can
+    never poison the plain-run cache.
     """
     payload = {
         "schema": CACHE_SCHEMA,
         "sim_version": _SIM_VERSION,
-        "config": config_key_fields(resolved_config(point)),
+        "config": config_key_fields(resolved_config(point, sanitize=sanitize)),
         "workload": {
             "app": point.app,
             "profile": dataclasses.asdict(get_profile(point.app)),
@@ -145,17 +152,22 @@ def point_key(point: SimPoint) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def _simulate_point(point_fields: tuple) -> Tuple[tuple, dict, float]:
+def _simulate_point(
+    point_fields: tuple, sanitize: bool = False
+) -> Tuple[tuple, dict, float]:
     """Worker entry: simulate one point, return its payload and wall time.
 
     Takes/returns plain tuples and dicts so the function pickles cheaply
     under any multiprocessing start method.
     """
     point = SimPoint(*point_fields)
+    config = get_design(point.design)
+    if sanitize:
+        config = config.replace(sanitize=True)
     t0 = time.perf_counter()
     stats = simulate(
         get_kernel(point.app),
-        get_design(point.design),
+        config,
         num_sms=point.num_sms,
         collect_timeline=point.collect_timeline,
     )
@@ -172,6 +184,7 @@ class ExperimentEngine:
         use_disk_cache: bool = True,
         timeout: Optional[float] = None,
         progress: bool = False,
+        sanitize: bool = False,
     ):
         self.workers = max(1, int(workers))
         self.cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
@@ -180,6 +193,10 @@ class ExperimentEngine:
         #: a point exceeding it is retried once in the parent process.
         self.timeout = timeout
         self.progress = progress
+        #: Run every simulation with the runtime invariant sanitizer
+        #: installed (``python -m repro --sanitize``).  Keys the cache
+        #: separately from plain runs even though results are identical.
+        self.sanitize = sanitize
         self.profile = EngineProfile()
         self._mem: Dict[str, SimStats] = {}
 
@@ -239,7 +256,7 @@ class ExperimentEngine:
 
     def run_point(self, point: SimPoint) -> SimStats:
         """Resolve one point (memory cache → disk cache → simulate)."""
-        key = point_key(point)
+        key = point_key(point, sanitize=self.sanitize)
         hit = self._mem.get(key)
         if hit is not None:
             self.profile.mem_hits += 1
@@ -270,7 +287,7 @@ class ExperimentEngine:
         results: Dict[SimPoint, SimStats] = {}
         missing: List[Tuple[SimPoint, str]] = []
         for p in ordered:
-            key = point_key(p)
+            key = point_key(p, sanitize=self.sanitize)
             hit = self._mem.get(key)
             if hit is not None:
                 self.profile.mem_hits += 1
@@ -305,7 +322,9 @@ class ExperimentEngine:
     # -- execution backends --------------------------------------------------
 
     def _simulate_serial(self, point: SimPoint) -> SimStats:
-        _, payload, secs = _simulate_point(dataclasses.astuple(point))
+        _, payload, secs = _simulate_point(
+            dataclasses.astuple(point), sanitize=self.sanitize
+        )
         self.profile.sims += 1
         self.profile.point_seconds.append((point.label(), secs))
         return SimStats.from_payload(payload)
@@ -339,7 +358,9 @@ class ExperimentEngine:
             try:
                 for p in points:
                     futures[p] = pool.submit(
-                        _simulate_point, dataclasses.astuple(p)
+                        _simulate_point,
+                        dataclasses.astuple(p),
+                        sanitize=self.sanitize,
                     )
             except concurrent.futures.process.BrokenProcessPool:
                 failed.extend(p for p in points if p not in futures)
@@ -402,6 +423,7 @@ def configure(
     use_disk_cache: Optional[bool] = None,
     timeout: Optional[float] = None,
     progress: Optional[bool] = None,
+    sanitize: Optional[bool] = None,
 ) -> ExperimentEngine:
     """Replace the process-wide engine; unspecified knobs keep their values.
 
@@ -419,5 +441,6 @@ def configure(
         ),
         timeout=old.timeout if timeout is None else timeout,
         progress=old.progress if progress is None else progress,
+        sanitize=old.sanitize if sanitize is None else sanitize,
     )
     return _engine

@@ -128,6 +128,10 @@ class GPU:
             now = self._advance(active, now, name)
 
         self.now = now + 1
+        if self.config.sanitize:
+            for sm in sms:
+                if sm.sanitizer is not None:
+                    sm.sanitizer.end_of_kernel(sm, now)
         return self._collect_stats(sms, self.now - start, name, base)
 
     def _advance(self, active: List[StreamingMultiprocessor], now: int, name: str) -> int:
@@ -233,7 +237,7 @@ class GPU:
             sm.memory.l1.stats.misses - b["l1_misses"]
             for sm, b in zip(sms, base["sms"])
         )
-        return SimStats(
+        stats = SimStats(
             kernel_name=name,
             config_name=self.config.name,
             cycles=cycles,
@@ -245,6 +249,12 @@ class GPU:
             l2_misses=self.l2.stats.misses - base["l2_misses"],
             dram_accesses=self.dram.stats.accesses - base["dram_accesses"],
         )
+        if self.config.sanitize:
+            for sm in sms:
+                if sm.sanitizer is not None:
+                    sm.sanitizer.check_run_stats(stats)
+                    break
+        return stats
 
 
 def simulate(

@@ -38,6 +38,46 @@ class SMStats:
             return 0.0
         return float(counts.std() / mu)
 
+    # -- conservation cross-checks -------------------------------------------
+
+    def conservation_errors(self) -> List[str]:
+        """Violated counter invariants of this per-run SM delta.
+
+        Used by the runtime sanitizer (:mod:`repro.analysis`): every
+        per-run delta must be non-negative (a negative delta means a
+        counter was reset or double-snapshotted mid-run) and the SM
+        instruction total must equal the sum of its sub-core schedulers'
+        issue counts.
+        """
+        errors: List[str] = []
+        for counter in (
+            "instructions",
+            "rf_reads",
+            "bank_conflict_cycles",
+            "ctas_completed",
+            "issue_stall_no_cu",
+            "issue_stall_no_ready",
+            "steals",
+            "migrations",
+        ):
+            value = getattr(self, counter)
+            if value < 0:
+                errors.append(
+                    f"SM {self.sm_id}: negative per-run delta "
+                    f"{counter}={value}"
+                )
+        if any(n < 0 for n in self.issue_counts):
+            errors.append(
+                f"SM {self.sm_id}: negative per-sub-core issue count in "
+                f"{self.issue_counts}"
+            )
+        if self.instructions != sum(self.issue_counts):
+            errors.append(
+                f"SM {self.sm_id}: instructions ({self.instructions}) != "
+                f"sum of sub-core issue counts ({sum(self.issue_counts)})"
+            )
+        return errors
+
     # -- cache serialization ------------------------------------------------
 
     def to_payload(self) -> dict:
@@ -133,6 +173,32 @@ class SimStats:
             f"{self.instructions} instructions, IPC {self.ipc:.2f}, "
             f"issue CoV {self.issue_cov():.3f}"
         )
+
+    # -- conservation cross-checks -------------------------------------------
+
+    def conservation_errors(self) -> List[str]:
+        """Violated counter invariants of this whole-run result.
+
+        GPU totals must be the sums of their per-SM parts, and every
+        memory-hierarchy delta must be non-negative.  Aggregated by the
+        runtime sanitizer into :class:`repro.analysis.InvariantViolation`.
+        """
+        errors: List[str] = []
+        if self.cycles < 0:
+            errors.append(f"negative cycle count {self.cycles}")
+        per_sm = sum(sm.instructions for sm in self.sms)
+        if self.instructions != per_sm:
+            errors.append(
+                f"GPU instruction total ({self.instructions}) != sum over "
+                f"SMs ({per_sm})"
+            )
+        for counter in ("l1_hits", "l1_misses", "l2_hits", "l2_misses", "dram_accesses"):
+            value = getattr(self, counter)
+            if value < 0:
+                errors.append(f"negative per-run delta {counter}={value}")
+        for sm in self.sms:
+            errors.extend(sm.conservation_errors())
+        return errors
 
     # -- cache serialization ------------------------------------------------
 

@@ -58,6 +58,60 @@ def test_identical_stats_across_hash_seeds():
     assert out_a == out_b
 
 
+@pytest.mark.slow
+def test_bank_stealing_identical_across_hash_seeds():
+    """Regression for the simlint RPR001 fix in BankStealingScheduler.
+
+    ``steal_candidate`` used to probe bank idleness through ``set(banks)``;
+    the candidate scan must stay hash-order-free so the stolen warp is the
+    same in every process.
+    """
+    specs = ["cg-lou:bank_stealing", "pb-sgemm:bank_stealing"]
+    out_a = _run_fresh_process("1", specs)
+    out_b = _run_fresh_process("31337", specs)
+    assert out_a, "subprocess produced no output"
+    assert out_a == out_b
+
+
+def test_bank_stealing_repeat_run_identical():
+    """Two fresh in-process simulations (distinct object ids) must agree."""
+    from repro.experiments.designs import get_design
+    from repro.gpu import simulate
+    from repro.workloads import get_kernel
+
+    cfg = get_design("bank_stealing")
+    runs = [
+        simulate(get_kernel("cg-lou"), cfg, num_sms=1).to_payload()
+        for _ in range(2)
+    ]
+    assert runs[0] == runs[1]
+
+
+def test_registry_listings_are_sorted():
+    """Regression for the suppressed sorted-on-set sites in the registry:
+    suites() and app_names() must return stable, totally ordered lists."""
+    from repro.workloads import app_names, suites
+
+    names = suites()
+    assert names == sorted(names)
+    assert len(names) == len(set(names))
+    for suite in names:
+        apps = app_names(suite)
+        assert apps == sorted(apps)
+
+
+def test_allocator_register_order_is_sorted():
+    """Regression for the suppressed sorted-on-set site in the allocator."""
+    from repro.regalloc.allocator import ConflictAwareAllocator
+    from repro.trace import TraceBuilder
+
+    trace = TraceBuilder().fma_chain(16, regs=12).build()
+    alloc = ConflictAwareAllocator(num_banks=4)
+    regs = alloc._registers(trace)
+    assert regs == sorted(regs)
+    assert len(regs) == len(set(regs))
+
+
 def test_ready_pool_iterates_in_insertion_order():
     """The sub-core ready pool must never be a hash-ordered set."""
     from repro import volta_v100

@@ -196,6 +196,30 @@ class TestRunMany:
         assert e.profile.sims == 2
 
 
+class TestSanitizedEngine:
+    def test_sanitize_changes_cache_key(self):
+        assert point_key(POINT, sanitize=True) != point_key(POINT)
+
+    def test_sanitized_results_equal_plain(self, tmp_path):
+        plain = serial_engine(tmp_path).run_point(POINT)
+        sanitized = serial_engine(tmp_path, sanitize=True).run_point(POINT)
+        assert sanitized == plain
+        assert dump_json(sanitized) == dump_json(plain)
+
+    def test_configure_threads_sanitize_flag(self, tmp_path):
+        old = eng._engine
+        try:
+            e = eng.configure(cache_dir=tmp_path, workers=1, sanitize=True)
+            assert e.sanitize
+            # Unspecified on the next call: the flag must persist.
+            e2 = eng.configure(workers=1)
+            assert e2.sanitize
+            e3 = eng.configure(sanitize=False)
+            assert not e3.sanitize
+        finally:
+            eng._engine = old
+
+
 class TestWarmCacheFigure:
     def test_figure_rerun_performs_zero_simulations(self, tmp_path):
         old = eng._engine
