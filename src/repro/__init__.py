@@ -36,6 +36,7 @@ from .config import (
 )
 from .gpu import GPU, DeadlockError, KernelLaunch, simulate
 from .metrics import SimStats, geomean, percent_speedup, speedup
+from .obs import Tracer, write_chrome_trace
 from .trace import CTATrace, KernelTrace, TraceBuilder, WarpTrace, make_kernel
 
 __version__ = "1.0.0"
@@ -64,6 +65,8 @@ __all__ = [
     "geomean",
     "percent_speedup",
     "speedup",
+    "Tracer",
+    "write_chrome_trace",
     "CTATrace",
     "KernelTrace",
     "TraceBuilder",

@@ -18,6 +18,20 @@ Engine options (see repro.experiments.engine)::
     --sanitize       # run every simulation with the runtime invariant
                      # sanitizer installed (see repro.analysis); results
                      # are identical, runs are slower and cached apart
+
+Observability options (see repro.obs and docs/observability.md)::
+
+    --trace            # trace every simulated point: Chrome-trace JSON +
+                       # events JSONL per point, plus a run manifest
+                       # (manifest.jsonl); stats gain stall-attribution
+                       # buckets and are cached apart from untraced runs
+    --trace-dir DIR    # where trace files go (default: repro-traces;
+                       # implies --trace)
+    --trace-cycles N   # only record events of the first N cycles
+    --profile-report APP[:DESIGN]
+                       # simulate one point and print its profiler-style
+                       # breakdown; with --trace it includes the stacked
+                       # stall-attribution chart
 """
 
 from __future__ import annotations
@@ -68,6 +82,17 @@ def _parse_args(args: List[str]) -> Tuple[dict, List[str]]:
         "no_cache": False,
         "profile": False,
         "sanitize": False,
+        "trace": False,
+        "trace_dir": None,
+        "trace_cycles": None,
+        "profile_report": None,
+    }
+    valued = {
+        "--workers": "workers",
+        "--cache-dir": "cache_dir",
+        "--trace-dir": "trace_dir",
+        "--trace-cycles": "trace_cycles",
+        "--profile-report": "profile_report",
     }
     names: List[str] = []
     i = 0
@@ -79,28 +104,55 @@ def _parse_args(args: List[str]) -> Tuple[dict, List[str]]:
             opts["profile"] = True
         elif arg == "--sanitize":
             opts["sanitize"] = True
-        elif arg.startswith("--workers") or arg.startswith("--cache-dir"):
+        elif arg == "--trace":
+            opts["trace"] = True
+        elif any(arg == f or arg.startswith(f + "=") for f in valued):
             flag, sep, value = arg.partition("=")
             if not sep:
                 i += 1
                 if i >= len(args):
                     raise _CLIError(f"{flag} requires a value")
                 value = args[i]
-            if flag == "--workers":
+            key = valued[flag]
+            if key in ("workers", "trace_cycles"):
                 try:
-                    opts["workers"] = int(value)
+                    opts[key] = int(value)
                 except ValueError:
-                    raise _CLIError(f"--workers expects an integer, got {value!r}")
-                if opts["workers"] < 1:
-                    raise _CLIError("--workers must be >= 1")
+                    raise _CLIError(f"{flag} expects an integer, got {value!r}")
+                if opts[key] < 1:
+                    raise _CLIError(f"{flag} must be >= 1")
             else:
-                opts["cache_dir"] = value
+                opts[key] = value
         elif arg.startswith("-") and arg not in ("-h", "--help"):
             raise _CLIError(f"unknown option: {arg}")
         else:
             names.append(arg)
         i += 1
+    if opts["trace_dir"] is not None or opts["trace_cycles"] is not None:
+        opts["trace"] = True
+    if opts["trace"] and opts["trace_dir"] is None:
+        opts["trace_dir"] = "repro-traces"
     return opts, names
+
+
+#: Point traced by a bare ``python -m repro --trace`` (no experiment names).
+DEFAULT_TRACE_POINT = ("cg-lou", "baseline")
+
+
+def _run_profile_report(spec: str) -> int:
+    """``--profile-report APP[:DESIGN]``: one point, profiler-style text."""
+    from .experiments.engine import SimPoint, get_engine
+    from .metrics.profile_report import profile_report
+
+    app, _, design = spec.partition(":")
+    point = SimPoint(app=app, design=design or "baseline")
+    try:
+        stats = get_engine().run_point(point)
+    except KeyError as exc:
+        print(f"--profile-report: unknown app or design: {exc}", file=sys.stderr)
+        return 2
+    print(profile_report(stats))
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -110,7 +162,8 @@ def main(argv: list[str] | None = None) -> int:
     except _CLIError as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    if not names or names == ["list"] or "-h" in names or "--help" in names:
+    standalone = opts["profile_report"] is not None or opts["trace"]
+    if (not names and not standalone) or names == ["list"] or "-h" in names or "--help" in names:
         print(__doc__)
         print("experiments:")
         for name in EXPERIMENTS:
@@ -135,14 +188,34 @@ def main(argv: list[str] | None = None) -> int:
         use_disk_cache=not opts["no_cache"],
         progress=sys.stderr.isatty(),
         sanitize=opts["sanitize"],
+        trace_dir=opts["trace_dir"],
+        trace_cycles=opts["trace_cycles"],
     )
 
+    if opts["trace"] and not names and opts["profile_report"] is None:
+        # A bare --trace still produces a trace to look at.
+        app, design = DEFAULT_TRACE_POINT
+        opts["profile_report"] = f"{app}:{design}"
+
+    status = 0
+    if opts["profile_report"] is not None:
+        status = _run_profile_report(opts["profile_report"])
     for name in names:
         print(f"\n=== {name} ===")
         EXPERIMENTS[name]()
     if opts["profile"]:
         print(f"\n{get_engine().profile_summary()}")
-    return 0
+    if opts["trace"]:
+        engine = get_engine()
+        written = (
+            engine.manifest.records_written if engine.manifest is not None else 0
+        )
+        print(
+            f"\ntraces in {opts['trace_dir']}/ "
+            f"(manifest.jsonl: {written} records; open *.trace.json in "
+            "https://ui.perfetto.dev)"
+        )
+    return status
 
 
 if __name__ == "__main__":

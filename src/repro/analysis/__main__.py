@@ -11,6 +11,9 @@ Lint options:
     --github        emit GitHub Actions ::error annotations in addition to
                     the human-readable lines (auto-enabled when the
                     GITHUB_ACTIONS environment variable is set)
+    --strict        ignore ``# simlint: ignore`` suppressions — every
+                    finding fails the run.  Used by CI to hold
+                    ``src/repro/obs`` to a suppression-free standard.
 
 Smoke options:
 
@@ -33,12 +36,12 @@ from typing import List, Optional
 from .linter import lint_paths, rule_listing
 
 
-def _lint(paths: List[str], github: bool) -> int:
+def _lint(paths: List[str], github: bool, strict: bool = False) -> int:
     if not paths:
         import repro
 
         paths = [os.path.dirname(os.path.abspath(repro.__file__))]
-    report = lint_paths(paths)
+    report = lint_paths(paths, strict=strict)
     for finding in report.unsuppressed:
         print(finding.format())
         if github:
@@ -74,6 +77,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     mode: Optional[str] = None
     paths: List[str] = []
     github = bool(os.environ.get("GITHUB_ACTIONS"))
+    strict = False
     apps: Optional[str] = None
     designs: Optional[str] = None
     num_sms = 1
@@ -89,6 +93,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             mode = "rules"
         elif arg == "--github":
             github = True
+        elif arg == "--strict":
+            strict = True
         elif arg.startswith(("--apps", "--designs", "--num-sms")):
             flag, sep, value = arg.partition("=")
             if not sep:
@@ -120,7 +126,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if mode == "smoke":
         return _sanitize_smoke(apps, designs, num_sms)
     if mode == "lint":
-        return _lint(paths, github)
+        return _lint(paths, github, strict=strict)
     print("choose a mode: --lint, --sanitize-smoke or --list-rules", file=sys.stderr)
     return 2
 

@@ -186,6 +186,28 @@ class Sanitizer:
                 actual=sm.total_instructions,
             )
 
+        if cfg.stall_attribution:
+            # Every issue slot of every accounted cycle lands in exactly
+            # one taxonomy bucket: bucket sums must track the SM's
+            # attributed-cycle count exactly, every cycle.
+            expected_slots = sm._attr_cycles * cfg.issue_width
+            for sc in sm.subcores:
+                if sc.stall_cycles is None:
+                    continue
+                accounted = sum(sc.stall_cycles.values())
+                if accounted != expected_slots:
+                    raise InvariantViolation(
+                        "stall-attribution",
+                        "stall-attribution buckets do not cover every issue "
+                        "slot of every accounted cycle",
+                        cycle=now,
+                        sm_id=sm_id,
+                        subcore_id=sc.subcore_id,
+                        counter="stall_cycles",
+                        expected=expected_slots,
+                        actual=accounted,
+                    )
+
         launched = sm._warp_id_counter
         retired = len(sm.warp_finish_cycles)
         in_flight = sum(
@@ -275,3 +297,32 @@ class Sanitizer:
                 error,
                 counter="stats",
             )
+        if not self.config.stall_attribution:
+            return
+        # The per-run taxonomy contract: for every SM, every sub-core's
+        # buckets (including the SM-idle remainder folded in at stats
+        # collection) sum to exactly cycles x issue_width.
+        expected_slots = stats.cycles * self.config.issue_width
+        for sm_stats in stats.sms:
+            if sm_stats.stall_cycles is None:
+                raise InvariantViolation(
+                    "stall-attribution",
+                    "stall attribution enabled but SM stats carry no buckets",
+                    sm_id=sm_stats.sm_id,
+                    counter="stall_cycles",
+                    expected="per-sub-core buckets",
+                    actual=None,
+                )
+            for sc_id, buckets in enumerate(sm_stats.stall_cycles):
+                accounted = sum(buckets.values())
+                if accounted != expected_slots:
+                    raise InvariantViolation(
+                        "stall-attribution",
+                        "per-run stall-attribution buckets do not sum to "
+                        "cycles x issue_width",
+                        sm_id=sm_stats.sm_id,
+                        subcore_id=sc_id,
+                        counter="stall_cycles",
+                        expected=expected_slots,
+                        actual=accounted,
+                    )

@@ -59,6 +59,8 @@ class LintReport:
 
     findings: List[Finding]
     files_scanned: int
+    #: Suppression comments were ignored for this report (see ``lint_paths``).
+    strict: bool = False
 
     @property
     def unsuppressed(self) -> List[Finding]:
@@ -73,8 +75,9 @@ class LintReport:
         return not self.unsuppressed
 
     def summary(self) -> str:
+        mode = "simlint (strict)" if self.strict else "simlint"
         return (
-            f"simlint: {len(self.unsuppressed)} finding(s), "
+            f"{mode}: {len(self.unsuppressed)} finding(s), "
             f"{len(self.suppressed)} suppressed, "
             f"{self.files_scanned} file(s) scanned"
         )
@@ -91,8 +94,13 @@ def _suppressions_for_line(source_line: str) -> Optional[Set[str]]:
     return {r.strip() for r in rules.split(",") if r.strip()}
 
 
-def lint_source(source: str, path: str = "<string>") -> List[Finding]:
-    """Lint one module's source text."""
+def lint_source(source: str, path: str = "<string>", strict: bool = False) -> List[Finding]:
+    """Lint one module's source text.
+
+    ``strict`` ignores ``# simlint: ignore`` comments — every finding
+    counts.  Used to hold designated subtrees (e.g. ``src/repro/obs``)
+    to a suppression-free standard.
+    """
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
@@ -111,8 +119,10 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     for raw in check_tree(tree):
         source_line = lines[raw.line - 1] if 0 < raw.line <= len(lines) else ""
         suppressed_rules = _suppressions_for_line(source_line)
-        suppressed = suppressed_rules is not None and (
-            not suppressed_rules or raw.rule_id in suppressed_rules
+        suppressed = (
+            not strict
+            and suppressed_rules is not None
+            and (not suppressed_rules or raw.rule_id in suppressed_rules)
         )
         findings.append(
             Finding(
@@ -142,14 +152,18 @@ def iter_python_files(paths: Sequence[str]) -> List[Path]:
     return out
 
 
-def lint_paths(paths: Sequence[str]) -> LintReport:
-    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+def lint_paths(paths: Sequence[str], strict: bool = False) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` (files or directories).
+
+    With ``strict=True`` every finding is reported unsuppressed, so the
+    report fails if the tree needs *any* ``# simlint: ignore`` comment.
+    """
     findings: List[Finding] = []
     files = iter_python_files(paths)
     for file in files:
         source = file.read_text(encoding="utf-8")
-        findings.extend(lint_source(source, path=str(file)))
-    return LintReport(findings=findings, files_scanned=len(files))
+        findings.extend(lint_source(source, path=str(file), strict=strict))
+    return LintReport(findings=findings, files_scanned=len(files), strict=strict)
 
 
 def rule_listing() -> str:

@@ -133,6 +133,15 @@ class GPUConfig:
     #: sanitized run's stats are byte-identical to an unsanitized run's.
     sanitize: bool = False
 
+    # -- observability -------------------------------------------------------
+    #: Accumulate the per-sub-core stall-attribution taxonomy
+    #: (:mod:`repro.obs.stall`): every scheduler issue slot of every cycle
+    #: lands in exactly one bucket, reported via ``SMStats.stall_cycles``
+    #: and rendered by ``metrics.profile_report``.  Off by default; when
+    #: off, collected stats are byte-identical to pre-observability
+    #: behaviour.  Enabled implicitly by ``python -m repro --trace``.
+    stall_attribution: bool = False
+
     # -- execution units per sub-core ---------------------------------------
     fp32_lanes: int = 16
     int_lanes: int = 16

@@ -14,9 +14,12 @@ cycles.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Tuple
+from typing import Deque, List, Optional, Tuple, TYPE_CHECKING
 
 from .collector_unit import CollectorUnit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Tracer
 
 
 class ArbitrationUnit:
@@ -39,6 +42,16 @@ class ArbitrationUnit:
         self.total_grants = 0
         self.conflict_cycles = 0  # cycles where some bank left requests waiting
         self.pending = 0
+        # event tracing (repro.obs); attached by the owning SM when active
+        self.tracer: Optional["Tracer"] = None
+        self._sm_id = -1
+        self._subcore_id = -1
+
+    def attach_tracer(self, tracer: "Tracer", sm_id: int, subcore_id: int) -> None:
+        """Attach the event tracer; conflict cycles emit bank-conflict events."""
+        self.tracer = tracer
+        self._sm_id = sm_id
+        self._subcore_id = subcore_id
 
     # -- enqueue ---------------------------------------------------------------
 
@@ -74,6 +87,10 @@ class ArbitrationUnit:
         self.total_grants += grants
         if conflicted:
             self.conflict_cycles += 1
+            if self.tracer is not None:
+                self.tracer.bank_conflict(
+                    now, self._sm_id, self._subcore_id, self.pending
+                )
         if self.score_latency:
             self._record(now)
         return grants

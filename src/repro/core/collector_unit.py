@@ -56,6 +56,18 @@ class CollectorUnit:
         self.pending_operands = 0
         self.allocated_cycle = -1
 
+    # -- tracer hook ---------------------------------------------------------
+
+    def occupancy_span(self, now: int) -> "tuple[int, int]":
+        """``(allocation cycle, cycles occupied)`` as of ``now``.
+
+        The tracer turns this into one span event per dispatched
+        instruction, so collector-unit occupancy (the Fig. 12 quantity)
+        reads directly off the exported timeline.  Call before
+        :meth:`release` — releasing resets ``allocated_cycle``.
+        """
+        return self.allocated_cycle, max(1, now - self.allocated_cycle)
+
     # -- sanitizer hook ------------------------------------------------------
 
     def validate(self) -> list:

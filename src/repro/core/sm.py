@@ -14,7 +14,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import Counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..analysis.invariants import Sanitizer
 from ..config import GPUConfig
@@ -25,6 +25,9 @@ from .subcore import SubCore
 from .subcore_assignment import SubcoreAssignment, make_assignment
 from .thread_block import ThreadBlock
 from .warp import RUNNABLE_STATES, Warp, WarpState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Tracer
 
 
 class StreamingMultiprocessor:
@@ -37,6 +40,7 @@ class StreamingMultiprocessor:
         memory: MemorySubsystem,
         assignment: Optional[SubcoreAssignment] = None,
         collect_timeline: bool = False,
+        tracer: Optional["Tracer"] = None,
     ):
         self.sm_id = sm_id
         self.config = config
@@ -61,6 +65,22 @@ class StreamingMultiprocessor:
         self.sanitizer: Optional[Sanitizer] = (
             Sanitizer(config) if config.sanitize else None
         )
+
+        # -- observability (repro.obs) ----------------------------------------
+        self.tracer = tracer
+        if tracer is not None:
+            self.memory.attach_tracer(tracer, sm_id)
+            for sc in self.subcores:
+                sc.tracer = tracer
+                sc.arbitration.attach_tracer(tracer, sm_id, sc.subcore_id)
+        #: Stall attribution accounts every scheduler issue slot of every
+        #: *accounted* cycle.  ``_attr_cycles`` counts cycles this SM has
+        #: attributed (stepped cycles + fast-forward gaps); the per-run
+        #: remainder up to ``SimStats.cycles`` is SM-idle time, added as
+        #: ``idle`` at stats collection.
+        self.stall_attribution = config.stall_attribution
+        self._attr_cycles = 0
+        self._last_stepped: Optional[int] = None
 
         # statistics
         self.total_instructions = 0
@@ -126,6 +146,8 @@ class StreamingMultiprocessor:
             self.subcores[sc_id].add_warp(warp, regs_per_warp)
             tb.add_warp(warp)
         self.resident_ctas.append(tb)
+        if self.tracer is not None:
+            self.tracer.cta_launch(now, self.sm_id, cta_id, cta.num_warps)
         return True
 
     def _release_cta(self, tb: ThreadBlock, now: int) -> None:
@@ -139,6 +161,9 @@ class StreamingMultiprocessor:
             self.cta_latencies.append(now - tb.start_cycle)
         self.ctas_completed += 1
         self.resources_freed = True
+        if self.tracer is not None:
+            latency = now - tb.start_cycle if tb.start_cycle is not None else 0
+            self.tracer.cta_retire(now, self.sm_id, tb.cta_id, latency)
 
     # -- callbacks from sub-cores ------------------------------------------------
 
@@ -167,8 +192,29 @@ class StreamingMultiprocessor:
 
     # -- simulation --------------------------------------------------------------
 
+    def begin_attribution_window(self, start: int) -> None:
+        """Reset the fast-forward gap reference at the start of a run.
+
+        Without the reset, the idle span between two ``GPU.run()`` calls
+        would be attributed to the second run as a fast-forward gap.
+        """
+        self._last_stepped = start - 1
+
     def step(self, now: int) -> None:
         """Advance the SM one cycle."""
+        if self.stall_attribution:
+            # Attribute fast-forwarded cycles BEFORE draining writebacks:
+            # during the gap the warps were in exactly the state they are
+            # in now (blocked / at barrier / migrating), which is what the
+            # taxonomy should record for those cycles.
+            last = self._last_stepped
+            if last is not None and now - last > 1:
+                gap = now - last - 1
+                for sc in self.subcores:
+                    sc.attribute_gap(last + 1, gap)
+                self._attr_cycles += gap
+            self._attr_cycles += 1
+            self._last_stepped = now
         heap = self._wb_heap
         while heap and heap[0][0] <= now:
             _, _, warp, reg = heapq.heappop(heap)
@@ -238,6 +284,14 @@ class StreamingMultiprocessor:
                 (now + self.config.migration_latency, next(self._seq), warp, None),
             )
             self.migrations += 1
+            if self.tracer is not None:
+                self.tracer.warp_migrate(
+                    now,
+                    self.sm_id,
+                    thief.subcore_id,
+                    warp.warp_id,
+                    donor.subcore_id,
+                )
             donors[0] = (runnable - 1, donor)
             donors.sort(key=lambda t: -t[0])
 

@@ -27,6 +27,17 @@ from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
 
 from ..config import GPUConfig
 from ..isa import Instruction
+from ..obs.stall import (
+    BANK_CONFLICT,
+    BARRIER,
+    DRAIN,
+    IDLE,
+    ISSUED,
+    NO_FREE_CU,
+    NO_READY_WARP,
+    SCOREBOARD,
+    empty_buckets,
+)
 from .arbitration import ArbitrationUnit
 from .collector_unit import CollectorUnit
 from .execution import ExecutionUnits
@@ -35,6 +46,7 @@ from .warp import Warp, WarpState
 from .warp_scheduler import WarpScheduler, make_scheduler
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Tracer
     from .sm import StreamingMultiprocessor
 
 
@@ -79,6 +91,16 @@ class SubCore:
         self.issue_stall_no_ready = 0
         self.steals = 0
 
+        # observability (repro.obs).  Both default to "off": the tracer is
+        # attached by the SM when one is passed to the GPU, and the stall
+        # buckets only exist under config.stall_attribution — when off,
+        # every hook reduces to one None-check and collected stats are
+        # byte-identical to pre-observability behaviour.
+        self.tracer: Optional["Tracer"] = None
+        self.stall_cycles: Optional[Dict[str, int]] = (
+            empty_buckets() if config.stall_attribution else None
+        )
+
     # -- occupancy ---------------------------------------------------------
 
     @property
@@ -120,6 +142,12 @@ class SubCore:
             assert inst is not None and warp is not None
             if not self.execution.can_accept(inst, now):
                 continue
+            if self.tracer is not None:
+                start, dur = cu.occupancy_span(now)
+                self.tracer.cu_span(
+                    start, self.sm.sm_id, self.subcore_id, cu.cu_id,
+                    warp.warp_id, inst.opcode.name, dur,
+                )
             self._execute(warp, inst, now)
             cu.release()
             self._busy_cus -= 1
@@ -133,11 +161,18 @@ class SubCore:
 
     def issue(self, now: int) -> int:
         """Phase 3: warp scheduler issue; returns instructions issued."""
+        attr = self.stall_cycles
         if not self.ready:
             self.issue_stall_no_ready += 1
+            if attr is not None:
+                self._attribute_stall(
+                    self._stall_reason(), self.config.issue_width, now
+                )
             return 0
         issued = 0
         issued_warps: Set[Warp] = set()  # membership-only; never iterated
+        slots_issued = 0
+        stall_reason: Optional[str] = None
         for _ in range(self.config.issue_width):
             if issued_warps:
                 candidates = [w for w in self.ready if w not in issued_warps]
@@ -145,17 +180,32 @@ class SubCore:
                 candidates = list(self.ready)
             if not candidates:
                 self.issue_stall_no_ready += 1
+                # Ready warps exist but each already issued this cycle.
+                stall_reason = NO_READY_WARP
                 break
             warp = self.scheduler.select(candidates, now)
             if warp is None:
+                stall_reason = NO_READY_WARP
                 break
             if not self._issue_warp(warp, now):
                 # Selected warp could not issue (no CU / port busy): stall
                 # this slot, as the hardware scheduler would.
                 self.issue_stall_no_cu += 1
+                if attr is not None:
+                    stall_reason = self._structural_stall_reason(now)
                 break
             issued_warps.add(warp)
             issued += 1
+            slots_issued += 1
+        if attr is not None:
+            attr[ISSUED] += slots_issued
+            leftover = self.config.issue_width - slots_issued
+            if leftover:
+                self._attribute_stall(
+                    stall_reason if stall_reason is not None else self._stall_reason(),
+                    leftover,
+                    now,
+                )
 
         # Bank-stealing pass: fill a still-free CU with a warp whose
         # operands sit in idle banks (Jing et al. [36]).
@@ -179,6 +229,69 @@ class SubCore:
                     self.steals += 1
                     issued += 1
         return issued
+
+    # -- stall attribution (repro.obs) ---------------------------------------
+
+    def _attribute_stall(self, reason: str, slots: int, now: int) -> None:
+        """Charge ``slots`` un-issued scheduler slots of cycle ``now``."""
+        assert self.stall_cycles is not None
+        self.stall_cycles[reason] += slots
+        if self.tracer is not None:
+            self.tracer.warp_stall(now, self.sm.sm_id, self.subcore_id, reason, slots)
+
+    def _stall_reason(self) -> str:
+        """Why no ready warp could fill an issue slot, top-down.
+
+        Priority order: a scoreboard hazard outranks a barrier wait (the
+        hazard is what blocks progress), which outranks in-transit or
+        already-issued warps, which outranks the end-of-CTA drain; a
+        sub-core with no resident warps at all is idle.
+        """
+        if not self.warps:
+            return IDLE
+        states = {w.state for w in self.warps}  # membership-only; never iterated
+        if WarpState.BLOCKED in states:
+            return SCOREBOARD
+        if WarpState.AT_BARRIER in states:
+            return BARRIER
+        if WarpState.MIGRATING in states or WarpState.READY in states:
+            return NO_READY_WARP
+        return DRAIN
+
+    def _structural_stall_reason(self, now: int) -> str:
+        """Why a *selected* warp could not issue: collector-side analysis.
+
+        If some occupied collector unit is still waiting on bank reads it
+        requested in an earlier cycle, the slot was lost to register-bank
+        arbitration backlog; otherwise the structural limit itself (no
+        free CU, or a busy execution port) is to blame.
+        """
+        for cu in self.collector_units:
+            if (
+                cu.instruction is not None
+                and cu.pending_operands
+                and cu.allocated_cycle < now
+            ):
+                return BANK_CONFLICT
+        return NO_FREE_CU
+
+    def attribute_gap(self, gap_start: int, cycles: int) -> None:
+        """Attribute ``cycles`` fast-forwarded (un-stepped) cycles.
+
+        Called by the SM before the writeback drain of the step that ends
+        a fast-forward jump, so warp states still describe what the
+        sub-core was waiting on during the gap (typically ``scoreboard``:
+        every warp blocked on an outstanding memory writeback).
+        """
+        if self.stall_cycles is None or cycles <= 0:
+            return
+        reason = self._stall_reason()
+        self.stall_cycles[reason] += cycles * self.config.issue_width
+        if self.tracer is not None:
+            self.tracer.warp_stall(
+                gap_start, self.sm.sm_id, self.subcore_id, reason,
+                cycles * self.config.issue_width, dur=cycles,
+            )
 
     # -- issue helpers ------------------------------------------------------------
 
@@ -211,13 +324,26 @@ class SubCore:
             self.arbitration.request(cu, bank)
 
     def _post_issue(self, warp: Warp, inst: Instruction, now: int) -> None:
+        tracer = self.tracer
+        if tracer is not None:
+            # Selection info must be read before note_issue updates the
+            # scheduler's greedy pointer.
+            info = self.scheduler.selection_info(warp)
+            tracer.warp_issue(
+                now, self.sm.sm_id, self.subcore_id, warp.warp_id,
+                inst.opcode.name, warp.pc, info["policy"], info["greedy"],
+            )
         warp.note_issue(inst)
         self.scheduler.note_issue(warp)
         self.instructions_issued += 1
         self.sm.note_issue(self.subcore_id)
         if inst.opcode.is_barrier:
+            if tracer is not None:
+                tracer.warp_barrier(now, self.sm.sm_id, self.subcore_id, warp.warp_id)
             self.sm.warp_at_barrier(warp)
         elif inst.opcode.is_exit:
+            if tracer is not None:
+                tracer.warp_exit(now, self.sm.sm_id, self.subcore_id, warp.warp_id)
             self.sm.warp_exited(warp, now)
 
     def _execute(self, warp: Warp, inst: Instruction, now: int) -> None:
@@ -328,6 +454,19 @@ class SubCore:
                         "actual": "missing",
                     }
                 )
+
+        if self.stall_cycles is not None and any(
+            v < 0 for v in self.stall_cycles.values()
+        ):
+            errors.append(
+                {
+                    "invariant": "stall-attribution",
+                    "message": "negative stall-attribution bucket",
+                    "counter": "stall_cycles",
+                    "expected": ">= 0 per bucket",
+                    "actual": dict(self.stall_cycles),
+                }
+            )
 
         errors.extend(self.scheduler.validate(self.warps))
         return errors

@@ -48,6 +48,14 @@ class WarpScheduler:
     def note_issue(self, warp: Warp) -> None:
         self.last_issued = warp
 
+    def selection_info(self, warp: Warp) -> dict:
+        """Why ``warp`` was picked, for the event tracer.
+
+        Read *before* :meth:`note_issue` — ``greedy`` compares against the
+        previous issue, which ``note_issue`` overwrites.
+        """
+        return {"policy": self.name, "greedy": self.last_issued is warp}
+
     def note_warp_removed(self, warp: Warp) -> None:
         if self.last_issued is warp:
             self.last_issued = None

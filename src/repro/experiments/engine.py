@@ -47,11 +47,13 @@ from .. import __version__ as _SIM_VERSION
 from ..config import GPUConfig
 from ..gpu import simulate
 from ..metrics import SimStats
+from ..obs import RunManifest, stats_digest
 from ..workloads import PROFILE_VERSION, get_kernel, get_profile
 from .designs import get_design
 
 #: Bump when the cache-file layout (not the simulated results) changes.
-CACHE_SCHEMA = 1
+#: 2: SMStats payloads may carry ``stall_cycles`` (repro.obs).
+CACHE_SCHEMA = 2
 
 #: Default on-disk cache location (override with ``REPRO_CACHE_DIR`` or
 #: ``configure(cache_dir=...)``).
@@ -85,10 +87,39 @@ class EngineProfile:
     retries: int = 0
     disk_errors: int = 0
     point_seconds: List[Tuple[str, float]] = field(default_factory=list)
+    #: Simulation wall time accumulated per worker process id; the parent
+    #: process appears under its own pid (serial runs and retries).
+    worker_seconds: Dict[int, float] = field(default_factory=dict)
 
     @property
     def hits(self) -> int:
         return self.mem_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of point lookups served from a cache (0..1)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def note_sim(self, label: str, secs: float, worker: int) -> None:
+        self.sims += 1
+        self.point_seconds.append((label, secs))
+        self.worker_seconds[worker] = self.worker_seconds.get(worker, 0.0) + secs
+
+    def worker_skew(self) -> float:
+        """Max/mean ratio of per-worker simulation wall time (1.0 = even).
+
+        A high skew means the pool spent most of its wall clock waiting
+        for one loaded worker — the signal to look at per-point timeouts
+        or point ordering.
+        """
+        if not self.worker_seconds:
+            return 1.0
+        times = list(self.worker_seconds.values())
+        mean = sum(times) / len(times)
+        return max(times) / mean if mean > 0 else 1.0
 
     def total_sim_seconds(self) -> float:
         return sum(s for _, s in self.point_seconds)
@@ -102,20 +133,39 @@ class EngineProfile:
             f"simulations   {self.sims}",
             f"retries       {self.retries}",
             f"disk errors   {self.disk_errors}",
+            f"cache hit rate {self.hit_rate():.1%} "
+            f"({self.hits}/{self.lookups} lookups)",
             f"sim wall time {self.total_sim_seconds():.2f}s",
         ]
+        if len(self.worker_seconds) > 1:
+            lines.append(
+                f"worker skew   {self.worker_skew():.2f}x max/mean over "
+                f"{len(self.worker_seconds)} workers"
+            )
         if self.point_seconds:
             lines.append(f"slowest points (top {slowest}):")
             ranked = sorted(self.point_seconds, key=lambda t: -t[1])[:slowest]
             lines.extend(f"  {secs:7.2f}s  {label}" for label, secs in ranked)
+        elif self.lookups:
+            lines.append(
+                "no simulations ran: every point was served from cache"
+            )
         return "\n".join(lines)
 
 
-def resolved_config(point: SimPoint, sanitize: bool = False) -> GPUConfig:
-    """The effective config a point simulates (design + num_sms applied)."""
+def resolved_config(
+    point: SimPoint, sanitize: bool = False, trace: bool = False
+) -> GPUConfig:
+    """The effective config a point simulates (design + num_sms applied).
+
+    ``trace`` enables stall attribution: traced runs carry the taxonomy
+    buckets in their stats, which is why they key the cache separately.
+    """
     config = get_design(point.design).replace(num_sms=point.num_sms)
     if sanitize:
         config = config.replace(sanitize=True)
+    if trace:
+        config = config.replace(stall_attribution=True)
     return config
 
 
@@ -124,7 +174,7 @@ def config_key_fields(config: GPUConfig) -> dict:
     return dataclasses.asdict(config)
 
 
-def point_key(point: SimPoint, sanitize: bool = False) -> str:
+def point_key(point: SimPoint, sanitize: bool = False, trace: bool = False) -> str:
     """Stable content hash identifying a point's simulation inputs.
 
     The key covers the full resolved config, the workload's name *and*
@@ -135,43 +185,83 @@ def point_key(point: SimPoint, sanitize: bool = False) -> str:
     ``sanitize`` is part of the config and therefore of the key: sanitized
     runs must be byte-identical to plain ones (that's what the smoke gate
     asserts), but they never *share* cache entries, so a sanitizer bug can
-    never poison the plain-run cache.
+    never poison the plain-run cache.  ``trace`` separates the cache the
+    same way: traced stats carry stall buckets a plain consumer must
+    never see, and an explicit flag keeps the separation even if the
+    resolved configs were ever to collide.
     """
     payload = {
         "schema": CACHE_SCHEMA,
         "sim_version": _SIM_VERSION,
-        "config": config_key_fields(resolved_config(point, sanitize=sanitize)),
+        "config": config_key_fields(
+            resolved_config(point, sanitize=sanitize, trace=trace)
+        ),
         "workload": {
             "app": point.app,
             "profile": dataclasses.asdict(get_profile(point.app)),
             "profile_version": PROFILE_VERSION,
         },
         "collect_timeline": point.collect_timeline,
+        "trace": trace,
     }
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def trace_stem(point: SimPoint) -> str:
+    """Filesystem-safe basename for a point's trace files."""
+    tl = "-tl" if point.collect_timeline else ""
+    return f"{point.app}--{point.design}--sms{point.num_sms}{tl}"
+
+
 def _simulate_point(
-    point_fields: tuple, sanitize: bool = False
-) -> Tuple[tuple, dict, float]:
+    point_fields: tuple,
+    sanitize: bool = False,
+    trace_dir: Optional[str] = None,
+    trace_cycles: Optional[int] = None,
+) -> Tuple[tuple, dict, float, int, Optional[str]]:
     """Worker entry: simulate one point, return its payload and wall time.
 
     Takes/returns plain tuples and dicts so the function pickles cheaply
-    under any multiprocessing start method.
+    under any multiprocessing start method.  Returns ``(point_fields,
+    stats payload, sim seconds, worker pid, chrome-trace path or None)``.
+    With ``trace_dir`` set, the run is traced (stall attribution on, a
+    :class:`~repro.obs.Tracer` attached) and the worker itself writes the
+    point's ``<stem>.trace.json`` / ``<stem>.events.jsonl`` files, so
+    event streams never travel over the pool's result pipe.
     """
     point = SimPoint(*point_fields)
     config = get_design(point.design)
     if sanitize:
         config = config.replace(sanitize=True)
+    tracer = None
+    if trace_dir is not None:
+        from ..obs import Tracer
+
+        config = config.replace(stall_attribution=True)
+        tracer = Tracer(max_cycles=trace_cycles)
     t0 = time.perf_counter()
     stats = simulate(
         get_kernel(point.app),
         config,
         num_sms=point.num_sms,
         collect_timeline=point.collect_timeline,
+        tracer=tracer,
     )
-    return point_fields, stats.to_payload(), time.perf_counter() - t0
+    secs = time.perf_counter() - t0
+    trace_path: Optional[str] = None
+    if tracer is not None:
+        from ..obs import write_chrome_trace, write_events_jsonl
+
+        assert trace_dir is not None
+        out = Path(trace_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        stem = trace_stem(point)
+        chrome = out / f"{stem}.trace.json"
+        write_chrome_trace(tracer, chrome)
+        write_events_jsonl(tracer, out / f"{stem}.events.jsonl")
+        trace_path = str(chrome)
+    return point_fields, stats.to_payload(), secs, os.getpid(), trace_path
 
 
 class ExperimentEngine:
@@ -185,6 +275,9 @@ class ExperimentEngine:
         timeout: Optional[float] = None,
         progress: bool = False,
         sanitize: bool = False,
+        trace_dir: Optional[os.PathLike] = None,
+        trace_cycles: Optional[int] = None,
+        manifest_path: Optional[os.PathLike] = None,
     ):
         self.workers = max(1, int(workers))
         self.cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
@@ -197,8 +290,51 @@ class ExperimentEngine:
         #: installed (``python -m repro --sanitize``).  Keys the cache
         #: separately from plain runs even though results are identical.
         self.sanitize = sanitize
+        #: Trace every simulated point into this directory (``--trace``):
+        #: stall attribution on, Chrome-trace JSON + events JSONL written
+        #: per point.  Keys the cache separately — traced stats carry
+        #: stall buckets.
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        self.trace_cycles = trace_cycles
+        #: Per-run JSONL telemetry (``repro.obs.RunManifest``).  Defaults
+        #: to ``<trace_dir>/manifest.jsonl`` when tracing; pass an explicit
+        #: path to audit untraced batches too.
+        if manifest_path is None and self.trace_dir is not None:
+            manifest_path = self.trace_dir / "manifest.jsonl"
+        self.manifest: Optional[RunManifest] = (
+            RunManifest(manifest_path) if manifest_path is not None else None
+        )
         self.profile = EngineProfile()
         self._mem: Dict[str, SimStats] = {}
+
+    @property
+    def trace(self) -> bool:
+        return self.trace_dir is not None
+
+    def _point_key(self, point: SimPoint) -> str:
+        return point_key(point, sanitize=self.sanitize, trace=self.trace)
+
+    def _record(
+        self,
+        point: SimPoint,
+        key: str,
+        source: str,
+        stats: SimStats,
+        seconds: Optional[float] = None,
+        worker: Optional[int] = None,
+        trace: Optional[str] = None,
+    ) -> None:
+        if self.manifest is None:
+            return
+        self.manifest.record(
+            point.label(),
+            key,
+            source,
+            stats_digest(stats.to_payload()),
+            seconds=seconds,
+            worker=worker,
+            trace=trace,
+        )
 
     # -- cache plumbing ----------------------------------------------------
 
@@ -256,15 +392,17 @@ class ExperimentEngine:
 
     def run_point(self, point: SimPoint) -> SimStats:
         """Resolve one point (memory cache → disk cache → simulate)."""
-        key = point_key(point, sanitize=self.sanitize)
+        key = self._point_key(point)
         hit = self._mem.get(key)
         if hit is not None:
             self.profile.mem_hits += 1
+            self._record(point, key, "memory", hit)
             return hit
         stats = self._load_disk(key)
         if stats is not None:
             self.profile.disk_hits += 1
             self._mem[key] = stats
+            self._record(point, key, "disk", stats)
             return stats
         self.profile.misses += 1
         stats = self._simulate_serial(point)
@@ -287,16 +425,18 @@ class ExperimentEngine:
         results: Dict[SimPoint, SimStats] = {}
         missing: List[Tuple[SimPoint, str]] = []
         for p in ordered:
-            key = point_key(p, sanitize=self.sanitize)
+            key = self._point_key(p)
             hit = self._mem.get(key)
             if hit is not None:
                 self.profile.mem_hits += 1
+                self._record(p, key, "memory", hit)
                 results[p] = hit
                 continue
             stats = self._load_disk(key)
             if stats is not None:
                 self.profile.disk_hits += 1
                 self._mem[key] = stats
+                self._record(p, key, "disk", stats)
                 results[p] = stats
                 continue
             self.profile.misses += 1
@@ -321,13 +461,29 @@ class ExperimentEngine:
 
     # -- execution backends --------------------------------------------------
 
-    def _simulate_serial(self, point: SimPoint) -> SimStats:
-        _, payload, secs = _simulate_point(
-            dataclasses.astuple(point), sanitize=self.sanitize
+    def _sim_kwargs(self) -> dict:
+        return {
+            "sanitize": self.sanitize,
+            "trace_dir": str(self.trace_dir) if self.trace_dir else None,
+            "trace_cycles": self.trace_cycles,
+        }
+
+    def _simulate_serial(self, point: SimPoint, source: str = "sim") -> SimStats:
+        _, payload, secs, worker, trace_path = _simulate_point(
+            dataclasses.astuple(point), **self._sim_kwargs()
         )
-        self.profile.sims += 1
-        self.profile.point_seconds.append((point.label(), secs))
-        return SimStats.from_payload(payload)
+        self.profile.note_sim(point.label(), secs, worker)
+        stats = SimStats.from_payload(payload)
+        self._record(
+            point,
+            self._point_key(point),
+            source,
+            stats,
+            seconds=secs,
+            worker=worker,
+            trace=trace_path,
+        )
+        return stats
 
     def _make_pool(self, n: int) -> concurrent.futures.ProcessPoolExecutor:
         methods = multiprocessing.get_all_start_methods()
@@ -360,13 +516,15 @@ class ExperimentEngine:
                     futures[p] = pool.submit(
                         _simulate_point,
                         dataclasses.astuple(p),
-                        sanitize=self.sanitize,
+                        **self._sim_kwargs(),
                     )
             except concurrent.futures.process.BrokenProcessPool:
                 failed.extend(p for p in points if p not in futures)
             for p, fut in futures.items():
                 try:
-                    _, payload, secs = fut.result(timeout=self.timeout)
+                    _, payload, secs, worker, trace_path = fut.result(
+                        timeout=self.timeout
+                    )
                 except Exception:
                     # TimeoutError, BrokenProcessPool, or an error raised
                     # inside the worker — all retried once in-parent, where
@@ -374,9 +532,18 @@ class ExperimentEngine:
                     fut.cancel()
                     failed.append(p)
                 else:
-                    self.profile.sims += 1
-                    self.profile.point_seconds.append((p.label(), secs))
-                    done[p] = SimStats.from_payload(payload)
+                    self.profile.note_sim(p.label(), secs, worker)
+                    stats = SimStats.from_payload(payload)
+                    self._record(
+                        p,
+                        self._point_key(p),
+                        "sim",
+                        stats,
+                        seconds=secs,
+                        worker=worker,
+                        trace=trace_path,
+                    )
+                    done[p] = stats
                 self._progress_line(len(done) + len(failed), total)
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
@@ -384,7 +551,7 @@ class ExperimentEngine:
 
         for p in failed:
             self.profile.retries += 1
-            done[p] = self._simulate_serial(p)
+            done[p] = self._simulate_serial(p, source="retry")
         return done
 
     # -- observability -------------------------------------------------------
@@ -424,6 +591,9 @@ def configure(
     timeout: Optional[float] = None,
     progress: Optional[bool] = None,
     sanitize: Optional[bool] = None,
+    trace_dir: Optional[os.PathLike] = None,
+    trace_cycles: Optional[int] = None,
+    manifest_path: Optional[os.PathLike] = None,
 ) -> ExperimentEngine:
     """Replace the process-wide engine; unspecified knobs keep their values.
 
@@ -442,5 +612,12 @@ def configure(
         timeout=old.timeout if timeout is None else timeout,
         progress=old.progress if progress is None else progress,
         sanitize=old.sanitize if sanitize is None else sanitize,
+        trace_dir=old.trace_dir if trace_dir is None else trace_dir,
+        trace_cycles=old.trace_cycles if trace_cycles is None else trace_cycles,
+        manifest_path=(
+            (old.manifest.path if old.manifest is not None else None)
+            if manifest_path is None
+            else manifest_path
+        ),
     )
     return _engine

@@ -9,15 +9,19 @@ this is what keeps long memory stalls cheap in a Python simulator.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, TYPE_CHECKING
 
 from ..config import GPUConfig, volta_v100
 from ..core import StreamingMultiprocessor
 from ..memory import MemorySubsystem, build_dram, build_l2
 from ..metrics import SimStats, SMStats
+from ..obs.stall import IDLE, empty_buckets
 from ..trace import KernelTrace
 from .kernel import KernelLaunch
 from .tb_scheduler import ThreadBlockScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Tracer
 
 
 class DeadlockError(RuntimeError):
@@ -32,6 +36,7 @@ class GPU:
         config: Optional[GPUConfig] = None,
         num_sms: Optional[int] = None,
         collect_timeline: bool = False,
+        tracer: Optional["Tracer"] = None,
     ):
         self.config = config if config is not None else volta_v100()
         if num_sms is not None:
@@ -39,6 +44,7 @@ class GPU:
         if self.config.num_sms < 1:
             raise ValueError("num_sms must be >= 1")
 
+        self.tracer = tracer
         self.l2 = build_l2(self.config.memory)
         self.dram = build_dram(self.config.memory)
         self.sms: List[StreamingMultiprocessor] = [
@@ -47,6 +53,7 @@ class GPU:
                 config=self.config,
                 memory=MemorySubsystem(self.config, l2=self.l2, dram=self.dram),
                 collect_timeline=collect_timeline,
+                tracer=tracer,
             )
             for i in range(self.config.num_sms)
         ]
@@ -97,6 +104,9 @@ class GPU:
         base = self._snapshot_counters(sms)
         start = self.now
         now = self.now
+        if self.config.stall_attribution:
+            for sm in sms:
+                sm.begin_attribution_window(start)
         scheduler.fill(now)
         active = [sm for sm in sms if not sm.idle]
 
@@ -180,6 +190,12 @@ class GPU:
                     "timeline_len": len(sm.rf_read_timeline or ()),
                     "finish_len": len(sm.warp_finish_cycles),
                     "latency_len": len(sm.cta_latencies),
+                    "stall_cycles": (
+                        [dict(sc.stall_cycles) for sc in sm.subcores]
+                        if sm.stall_attribution
+                        else None
+                    ),
+                    "attr_cycles": sm._attr_cycles,
                 }
                 for sm in sms
             ],
@@ -197,6 +213,23 @@ class GPU:
     ) -> SimStats:
         sm_stats = []
         for sm, b in zip(sms, base["sms"]):
+            stall_cycles = None
+            if b["stall_cycles"] is not None:
+                # Per-run bucket deltas, then fold the cycles this SM was
+                # never stepped nor fast-forwarded over (idle between its
+                # last CTA retiring and the end of the run) into ``idle`` —
+                # so every issue slot of every one of ``cycles`` cycles
+                # lands in exactly one bucket.
+                run_attr = sm._attr_cycles - b["attr_cycles"]
+                idle_slots = (cycles - run_attr) * self.config.issue_width
+                stall_cycles = []
+                for sc, b0 in zip(sm.subcores, b["stall_cycles"]):
+                    assert sc.stall_cycles is not None
+                    delta = {
+                        k: v - b0[k] for k, v in sc.stall_cycles.items()
+                    }
+                    delta[IDLE] += idle_slots
+                    stall_cycles.append(delta)
             sm_stats.append(
                 SMStats(
                     sm_id=sm.sm_id,
@@ -227,6 +260,7 @@ class GPU:
                     ),
                     warp_finish_cycles=sm.warp_finish_cycles[b["finish_len"]:],
                     cta_latencies=sm.cta_latencies[b["latency_len"]:],
+                    stall_cycles=stall_cycles,
                 )
             )
         l1_hits = sum(
@@ -262,7 +296,13 @@ def simulate(
     config: Optional[GPUConfig] = None,
     num_sms: Optional[int] = None,
     collect_timeline: bool = False,
+    tracer: Optional["Tracer"] = None,
 ) -> SimStats:
     """One-shot convenience wrapper: build a GPU, run ``kernel``, return stats."""
-    gpu = GPU(config=config, num_sms=num_sms, collect_timeline=collect_timeline)
+    gpu = GPU(
+        config=config,
+        num_sms=num_sms,
+        collect_timeline=collect_timeline,
+        tracer=tracer,
+    )
     return gpu.run(kernel)

@@ -8,7 +8,7 @@ completion cycle, which the LDST execution unit uses as the writeback time.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from ..config import GPUConfig, MemoryConfig
 from ..isa import Instruction, MemRef
@@ -17,6 +17,9 @@ from .coalescer import Coalescer
 from .dram import DRAM
 from .request import AccessResult
 from .shared_memory import SharedMemory
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Tracer
 
 
 def build_l2(mem: MemoryConfig) -> Cache:
@@ -65,6 +68,14 @@ class MemorySubsystem:
         self.shared = SharedMemory(mem.shared_mem_banks)
         #: L1←L2 ingest throughput: line transactions accepted per cycle.
         self._l1_port_free = 0
+        # event tracing (repro.obs); attached by the owning SM when active
+        self.tracer: Optional["Tracer"] = None
+        self._sm_id = -1
+
+    def attach_tracer(self, tracer: "Tracer", sm_id: int) -> None:
+        """Attach the event tracer; accesses emit ``mem`` span events."""
+        self.tracer = tracer
+        self._sm_id = sm_id
 
     # -- global memory ---------------------------------------------------------
 
@@ -128,7 +139,21 @@ class MemorySubsystem:
         """Completion cycle for a memory instruction's data."""
         if inst.opcode.is_global_memory:
             assert inst.mem is not None
-            return self.access_global(inst.mem, now).completion_cycle
+            result = self.access_global(inst.mem, now)
+            done = result.completion_cycle
+            if self.tracer is not None:
+                self.tracer.mem_access(
+                    now,
+                    self._sm_id,
+                    "global",
+                    max(1, done - now),
+                    l1_hits=result.l1_hits,
+                    l1_misses=result.l1_misses,
+                )
+            return done
         if inst.opcode.is_shared_memory:
-            return self.access_shared(now, shared_conflict_degree)
+            done = self.access_shared(now, shared_conflict_degree)
+            if self.tracer is not None:
+                self.tracer.mem_access(now, self._sm_id, "shared", max(1, done - now))
+            return done
         raise ValueError(f"{inst.opcode.name} is not a memory instruction")

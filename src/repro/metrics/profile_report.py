@@ -20,10 +20,13 @@ def _pct(part: float, whole: float) -> str:
 def profile_sm(sm: SMStats, cycles: int) -> List[str]:
     """Per-SM section of the report."""
     lines = [f"SM {sm.sm_id}:"]
-    lines.append(
-        f"  instructions {sm.instructions}, IPC "
-        f"{sm.instructions / cycles:.2f}" if cycles else "  (no cycles)"
-    )
+    if cycles:
+        lines.append(
+            f"  instructions {sm.instructions}, IPC "
+            f"{sm.instructions / cycles:.2f}"
+        )
+    else:
+        lines.append(f"  instructions {sm.instructions} (no cycles)")
     lines.append(
         "  per-sub-core issue "
         + " / ".join(str(c) for c in sm.issue_counts)
@@ -34,13 +37,23 @@ def profile_sm(sm: SMStats, cycles: int) -> List[str]:
         f"  issue stalls: no-ready-warp {_pct(sm.issue_stall_no_ready, scheduler_slots)}"
         f", no-free-collector-unit {_pct(sm.issue_stall_no_cu, scheduler_slots)}"
     )
-    lines.append(
-        f"  register file: {sm.rf_reads} operand reads"
-        f" ({sm.rf_reads / cycles:.2f}/cycle)"
-        f", bank-conflict cycles {sm.bank_conflict_cycles}"
-        if cycles
-        else "  register file: idle"
-    )
+    if cycles:
+        lines.append(
+            f"  register file: {sm.rf_reads} operand reads"
+            f" ({sm.rf_reads / cycles:.2f}/cycle)"
+            f", bank-conflict cycles {sm.bank_conflict_cycles}"
+        )
+    else:
+        lines.append("  register file: idle")
+    if sm.stall_cycles is not None and sm.stall_cycles:
+        from ..viz import stall_chart
+
+        slots = sum(sm.stall_cycles[0].values())
+        chart = stall_chart(
+            sm.stall_cycles,
+            title=f"issue-slot attribution ({slots} slots per sub-core)",
+        )
+        lines.extend("  " + line for line in chart.splitlines())
     extras = []
     if sm.steals:
         extras.append(f"bank-steals {sm.steals}")

@@ -25,6 +25,11 @@ class SMStats:
     rf_read_timeline: Optional[List[Tuple[int, int]]] = None
     warp_finish_cycles: List[int] = field(default_factory=list)
     cta_latencies: List[int] = field(default_factory=list)
+    #: Per-sub-core stall-attribution buckets (``repro.obs.stall``), one
+    #: dict per sub-core in sub-core order; ``None`` unless the run had
+    #: ``GPUConfig.stall_attribution`` set.  Conservation contract: each
+    #: dict's values sum to ``cycles * issue_width``.
+    stall_cycles: Optional[List[Dict[str, int]]] = None
 
     def issue_cov(self) -> float:
         """Coefficient of variation of per-sub-core issued instructions.
@@ -76,13 +81,56 @@ class SMStats:
                 f"SM {self.sm_id}: instructions ({self.instructions}) != "
                 f"sum of sub-core issue counts ({sum(self.issue_counts)})"
             )
+        errors.extend(self._stall_attribution_errors())
+        return errors
+
+    def _stall_attribution_errors(self) -> List[str]:
+        """Internal consistency of the stall-attribution buckets.
+
+        The cycle-count conservation check (bucket sums equal
+        ``cycles * issue_width``) needs the run's cycle count and lives in
+        ``repro.analysis.invariants``; here we check what the SM delta can
+        see on its own: no negative buckets, one bucket dict per sub-core
+        scheduler, identical sums across sub-cores (every scheduler
+        accounts the same cycles), and scheduler-pass issues — the
+        ``issued`` buckets plus steal-pass issues — matching the
+        instruction total.
+        """
+        if self.stall_cycles is None:
+            return []
+        errors: List[str] = []
+        if len(self.stall_cycles) != len(self.issue_counts):
+            errors.append(
+                f"SM {self.sm_id}: {len(self.stall_cycles)} stall-bucket "
+                f"dicts for {len(self.issue_counts)} sub-cores"
+            )
+        for sc_id, buckets in enumerate(self.stall_cycles):
+            negative = {k: v for k, v in buckets.items() if v < 0}
+            if negative:
+                errors.append(
+                    f"SM {self.sm_id} sub-core {sc_id}: negative stall "
+                    f"buckets {negative}"
+                )
+        sums = [sum(b.values()) for b in self.stall_cycles]
+        if len(set(sums)) > 1:
+            errors.append(
+                f"SM {self.sm_id}: stall-bucket sums differ across "
+                f"sub-cores: {sums}"
+            )
+        issued = sum(b.get("issued", 0) for b in self.stall_cycles)
+        if issued + self.steals != self.instructions:
+            errors.append(
+                f"SM {self.sm_id}: issued stall-bucket total ({issued}) + "
+                f"steals ({self.steals}) != instructions "
+                f"({self.instructions})"
+            )
         return errors
 
     # -- cache serialization ------------------------------------------------
 
     def to_payload(self) -> dict:
         """JSON-safe dict that :meth:`from_payload` restores losslessly."""
-        return {
+        payload = {
             "sm_id": self.sm_id,
             "instructions": self.instructions,
             "issue_counts": list(self.issue_counts),
@@ -101,6 +149,11 @@ class SMStats:
             "warp_finish_cycles": list(self.warp_finish_cycles),
             "cta_latencies": list(self.cta_latencies),
         }
+        if self.stall_cycles is not None:
+            # Only present when stall attribution ran, so untraced payloads
+            # stay byte-identical to pre-observability behaviour.
+            payload["stall_cycles"] = [dict(b) for b in self.stall_cycles]
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "SMStats":
@@ -123,6 +176,11 @@ class SMStats:
             ),
             warp_finish_cycles=list(payload["warp_finish_cycles"]),
             cta_latencies=list(payload["cta_latencies"]),
+            stall_cycles=(
+                [dict(b) for b in payload["stall_cycles"]]
+                if payload.get("stall_cycles") is not None
+                else None
+            ),
         )
 
 

@@ -1,0 +1,58 @@
+"""Observability for the simulator (``repro.obs``).
+
+Three layers, one contract (everything here is deterministic and
+zero-overhead when off):
+
+* **event tracing** — :class:`Tracer` collects cycle-attributed model
+  events (warp issue/stall/barrier/exit, CTA launch/retire, collector-
+  unit occupancy, bank conflicts, memory accesses) through hooks in the
+  core model; :mod:`repro.obs.chrome_trace` exports them as Perfetto-
+  loadable Chrome-trace JSON plus a compact JSONL stream;
+* **stall attribution** — the top-down issue-slot taxonomy of
+  :mod:`repro.obs.stall`, accumulated per sub-core into
+  :class:`~repro.metrics.SMStats` when ``GPUConfig.stall_attribution``
+  is set, conservation-checked by the runtime sanitizer;
+* **run telemetry** — :class:`RunManifest`, the experiment engine's
+  per-run JSONL audit log (cache hit/miss, wall time, worker id, stats
+  digest).
+
+CLI::
+
+    python -m repro <figure> --trace [--trace-dir DIR] [--trace-cycles N]
+    python -m repro --trace --profile-report APP[:DESIGN]
+    python -m repro.obs --validate TRACE.json ...   # schema gate (CI)
+
+See ``docs/observability.md`` for the event schema, the taxonomy
+definitions, and how to open traces in Perfetto.
+"""
+
+from .chrome_trace import (
+    chrome_trace,
+    dumps_chrome_trace,
+    iter_jsonl,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from .events import EVENT_FIELDS, EVENT_KINDS, validate_chrome_trace, validate_event
+from .manifest import RunManifest, read_manifest, stats_digest
+from .stall import STALL_BUCKETS, empty_buckets, merge_buckets
+from .tracer import Tracer
+
+__all__ = [
+    "EVENT_FIELDS",
+    "EVENT_KINDS",
+    "RunManifest",
+    "STALL_BUCKETS",
+    "Tracer",
+    "chrome_trace",
+    "dumps_chrome_trace",
+    "empty_buckets",
+    "iter_jsonl",
+    "merge_buckets",
+    "read_manifest",
+    "stats_digest",
+    "validate_chrome_trace",
+    "validate_event",
+    "write_chrome_trace",
+    "write_events_jsonl",
+]

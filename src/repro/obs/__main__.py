@@ -1,0 +1,99 @@
+"""Command-line trace tooling.
+
+Usage::
+
+    python -m repro.obs --validate TRACE.json [...]   # Chrome-trace schema
+    python -m repro.obs --summarize EVENTS.jsonl       # event-kind counts
+
+``--validate`` checks exported Chrome-trace documents against the
+invariants Perfetto/``chrome://tracing`` rely on (see
+:func:`repro.obs.events.validate_chrome_trace`); CI's trace-smoke job
+gates on it.  Exit status: 0 clean, 1 schema errors, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import Counter
+from typing import List, Optional
+
+from .events import validate_chrome_trace, validate_event
+
+
+def _validate(paths: List[str]) -> int:
+    failed = 0
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable trace: {exc}", file=sys.stderr)
+            failed += 1
+            continue
+        errors = validate_chrome_trace(doc)
+        if errors:
+            failed += 1
+            for error in errors[:20]:
+                print(f"{path}: {error}", file=sys.stderr)
+            if len(errors) > 20:
+                print(f"{path}: ... {len(errors) - 20} more", file=sys.stderr)
+        else:
+            n = len(doc["traceEvents"])
+            print(f"{path}: OK ({n} events)")
+    return 1 if failed else 0
+
+
+def _summarize(paths: List[str]) -> int:
+    status = 0
+    for path in paths:
+        counts: Counter = Counter()
+        bad = 0
+        last_cycle = 0
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                event = json.loads(line)
+                if validate_event(event):
+                    bad += 1
+                    continue
+                counts[event["e"]] += 1
+                last_cycle = max(last_cycle, event["t"] + event.get("dur", 1) - 1)
+        total = sum(counts.values())
+        print(f"{path}: {total} events through cycle {last_cycle}")
+        for kind in sorted(counts):
+            print(f"  {kind:<14} {counts[kind]}")
+        if bad:
+            print(f"  INVALID        {bad}", file=sys.stderr)
+            status = 1
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or "-h" in args or "--help" in args:
+        print(__doc__)
+        return 0
+    mode: Optional[str] = None
+    paths: List[str] = []
+    for arg in args:
+        if arg == "--validate":
+            mode = "validate"
+        elif arg == "--summarize":
+            mode = "summarize"
+        elif arg.startswith("-"):
+            print(f"unknown option: {arg}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if mode is None or not paths:
+        print("usage: python -m repro.obs --validate|--summarize FILE [...]",
+              file=sys.stderr)
+        return 2
+    return _validate(paths) if mode == "validate" else _summarize(paths)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

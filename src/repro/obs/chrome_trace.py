@@ -1,0 +1,174 @@
+"""Export traces to Chrome-trace JSON and compact JSONL.
+
+The Chrome trace event format (the JSON Perfetto and ``chrome://tracing``
+load) models a trace as processes and threads; we map one **SM per
+process** and one **track per sub-core, collector unit and warp**:
+
+* ``tid 1`` — the SM track: CTA launch/retire instants and memory
+  accesses (span per warp memory instruction);
+* ``tid 10 + 10·sc`` — the sub-core track: stall spans (one per
+  attributed stall, named ``stall:<bucket>``), bank-conflict instants and
+  migration arrivals;
+* ``tid 10 + 10·sc + 1 + cu`` — one track per collector unit: a span
+  from allocation to dispatch, so operand-collector occupancy reads
+  directly off the timeline (Fig. 12's quantity);
+* ``tid 1000 + warp_id`` — one track per warp: issued instructions
+  (1-cycle spans named by opcode) plus barrier/exit instants.
+
+Model cycles map 1:1 to trace microseconds (``ts``/``dur``), so Perfetto
+durations read as cycle counts.
+
+Export is deterministic: events keep emission order (simulation order),
+metadata tracks are sorted by ``(pid, tid)``, and serialization uses
+sorted keys with fixed separators — the exported bytes are identical
+across processes and ``PYTHONHASHSEED`` values (pinned by a golden
+test).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Sequence, Tuple, Union
+
+from . import events as ev
+from .tracer import Tracer
+
+#: tid of the per-SM track (CTA + memory events).
+SM_TID = 1
+#: tid base/stride of per-sub-core tracks; CU n of sub-core s gets
+#: ``SUBCORE_TID_BASE + SUBCORE_TID_STRIDE*s + 1 + n``.
+SUBCORE_TID_BASE = 10
+SUBCORE_TID_STRIDE = 10
+#: tid base of per-warp tracks.
+WARP_TID_BASE = 1000
+
+EventList = Sequence[Dict[str, Any]]
+TraceLike = Union[Tracer, EventList]
+
+
+def _events_of(trace: TraceLike) -> EventList:
+    return trace.events if isinstance(trace, Tracer) else trace
+
+
+def subcore_tid(sc: int) -> int:
+    return SUBCORE_TID_BASE + SUBCORE_TID_STRIDE * sc
+
+
+def cu_tid(sc: int, cu: int) -> int:
+    return subcore_tid(sc) + 1 + cu
+
+
+def warp_tid(warp: int) -> int:
+    return WARP_TID_BASE + warp
+
+
+def _instant(name: str, t: int, pid: int, tid: int, args: Dict[str, Any]) -> Dict[str, Any]:
+    return {"name": name, "ph": "i", "s": "t", "ts": t, "pid": pid, "tid": tid, "args": args}
+
+
+def _span(name: str, t: int, dur: int, pid: int, tid: int, args: Dict[str, Any]) -> Dict[str, Any]:
+    return {"name": name, "ph": "X", "ts": t, "dur": dur, "pid": pid, "tid": tid, "args": args}
+
+
+def _convert(event: Dict[str, Any]) -> Tuple[Dict[str, Any], str]:
+    """One raw event → (chrome event, track name for its tid)."""
+    kind, t, sm = event["e"], event["t"], event["sm"]
+    if kind == ev.WARP_ISSUE:
+        tid = warp_tid(event["w"])
+        track = f"warp {event['w']} (sc {event['sc']})"
+        args = {"pc": event["pc"], "policy": event["pol"], "greedy": event["greedy"]}
+        return _span(event["op"], t, 1, sm, tid, args), track
+    if kind == ev.WARP_STALL:
+        tid = subcore_tid(event["sc"])
+        track = f"sub-core {event['sc']}"
+        args = {"slots": event["slots"]}
+        return _span(f"stall:{event['why']}", t, event["dur"], sm, tid, args), track
+    if kind == ev.WARP_BARRIER:
+        tid = warp_tid(event["w"])
+        track = f"warp {event['w']} (sc {event['sc']})"
+        return _instant("barrier", t, sm, tid, {}), track
+    if kind == ev.WARP_EXIT:
+        tid = warp_tid(event["w"])
+        track = f"warp {event['w']} (sc {event['sc']})"
+        return _instant("exit", t, sm, tid, {}), track
+    if kind == ev.WARP_MIGRATE:
+        tid = subcore_tid(event["sc"])
+        track = f"sub-core {event['sc']}"
+        args = {"warp": event["w"], "from_subcore": event["from"]}
+        return _instant("migrate-in", t, sm, tid, args), track
+    if kind == ev.CTA_LAUNCH:
+        return _instant(f"CTA {event['cta']} launch", t, sm, SM_TID, {"warps": event["n"]}), "SM"
+    if kind == ev.CTA_RETIRE:
+        return _instant(f"CTA {event['cta']} retire", t, sm, SM_TID, {"latency": event["dur"]}), "SM"
+    if kind == ev.CU_SPAN:
+        tid = cu_tid(event["sc"], event["cu"])
+        track = f"sub-core {event['sc']} CU{event['cu']}"
+        args = {"warp": event["w"]}
+        return _span(event["op"], t, event["dur"], sm, tid, args), track
+    if kind == ev.BANK_CONFLICT:
+        tid = subcore_tid(event["sc"])
+        track = f"sub-core {event['sc']}"
+        return _instant("bank-conflict", t, sm, tid, {"waiting": event["n"]}), track
+    if kind == ev.MEM_ACCESS:
+        args = {k: event[k] for k in ("h", "m") if k in event}
+        return _span(f"mem:{event['kind']}", t, event["dur"], sm, SM_TID, args), "SM"
+    raise ValueError(f"unknown event kind {kind!r}")
+
+
+def chrome_trace(trace: TraceLike) -> Dict[str, Any]:
+    """The Chrome-trace document (a JSON-safe dict) for a raw event list."""
+    trace_events: List[Dict[str, Any]] = []
+    tracks: Dict[Tuple[int, int], str] = {}
+    pids: Dict[int, None] = {}
+    for event in _events_of(trace):
+        chrome, track = _convert(event)
+        pid, tid = chrome["pid"], chrome["tid"]
+        tracks.setdefault((pid, tid), track)
+        pids.setdefault(pid, None)
+        trace_events.append(chrome)
+
+    metadata: List[Dict[str, Any]] = []
+    for pid in sorted(pids):
+        metadata.append(
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": f"SM {pid}"}}
+        )
+    for (pid, tid), track in sorted(tracks.items()):
+        metadata.append(
+            {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"name": track}}
+        )
+        metadata.append(
+            {"name": "thread_sort_index", "ph": "M", "pid": pid, "tid": tid,
+             "args": {"sort_index": tid}}
+        )
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {"time_unit": "cycles", "exporter": "repro.obs"},
+        "traceEvents": metadata + trace_events,
+    }
+
+
+def dumps_chrome_trace(trace: TraceLike) -> str:
+    """Byte-stable serialization of :func:`chrome_trace`."""
+    return json.dumps(chrome_trace(trace), sort_keys=True, separators=(",", ":"))
+
+
+def write_chrome_trace(trace: TraceLike, path: Union[str, os.PathLike]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps_chrome_trace(trace))
+        fh.write("\n")
+
+
+def iter_jsonl(trace: TraceLike) -> Iterable[str]:
+    """Raw events as compact JSONL lines (no trailing newlines)."""
+    for event in _events_of(trace):
+        yield json.dumps(event, sort_keys=True, separators=(",", ":"))
+
+
+def write_events_jsonl(trace: TraceLike, path: Union[str, os.PathLike]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in iter_jsonl(trace):
+            fh.write(line)
+            fh.write("\n")

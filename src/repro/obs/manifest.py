@@ -1,0 +1,88 @@
+"""Engine run telemetry: the per-run JSONL manifest.
+
+Every simulation point the :class:`~repro.experiments.engine
+.ExperimentEngine` resolves appends one line describing *how* it was
+resolved — memory hit, disk hit, fresh simulation, or in-parent retry —
+with the point's content-address key, wall time, worker process id and a
+digest of the resulting stats.  The manifest is what lets a batch run be
+audited after the fact: which points actually simulated, where the wall
+time went, whether two runs of the same point produced the same result
+(compare digests), and which trace files belong to which point.
+
+Lines are appended immediately (crash-robust) and are self-describing
+JSON objects, so the file tails cleanly while a long batch runs::
+
+    tail -f repro-traces/manifest.jsonl | python -m json.tool --json-lines
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+
+def stats_digest(payload: Dict[str, Any]) -> str:
+    """Short content digest of a serialized :class:`SimStats` payload.
+
+    Two runs of the same point must produce the same digest (simulation
+    determinism); a mismatch between a cached and a fresh run is the
+    first sign of a nondeterminism regression.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+class RunManifest:
+    """Append-only JSONL sink for engine run records."""
+
+    #: Resolution sources a record may carry.
+    SOURCES = ("memory", "disk", "sim", "retry")
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self.path = Path(path)
+        self.records_written = 0
+
+    def record(
+        self,
+        point: str,
+        key: str,
+        source: str,
+        digest: str,
+        seconds: Optional[float] = None,
+        worker: Optional[int] = None,
+        trace: Optional[str] = None,
+    ) -> None:
+        """Append one resolution record."""
+        if source not in self.SOURCES:
+            raise ValueError(f"unknown manifest source {source!r}")
+        entry: Dict[str, Any] = {
+            "point": point,
+            "key": key,
+            "source": source,
+            "digest": digest,
+        }
+        if seconds is not None:
+            entry["seconds"] = round(seconds, 6)
+        if worker is not None:
+            entry["worker"] = worker
+        if trace is not None:
+            entry["trace"] = trace
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True, separators=(",", ":")))
+            fh.write("\n")
+        self.records_written += 1
+
+
+def read_manifest(path: Union[str, os.PathLike]) -> list:
+    """All records of a manifest file (for tests and tooling)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

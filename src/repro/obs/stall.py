@@ -1,0 +1,78 @@
+"""The stall-attribution taxonomy.
+
+Top-down accounting of scheduler issue slots (Accel-Sim-correlation
+style): every ``(cycle, sub-core, slot)`` of a run lands in exactly one
+bucket, so the buckets of one sub-core always sum to
+``cycles × issue_width`` — a conservation law the runtime sanitizer
+enforces (see :mod:`repro.analysis.invariants`).
+
+Buckets, in severity order from "doing work" to "nothing to do":
+
+``issued``
+    The slot issued a warp instruction.
+``no_ready_warp``
+    Ready warps exist but none was issuable in this slot (every ready
+    warp already issued this cycle, or its register state is mid-flight
+    between sub-cores after a migration).
+``scoreboard``
+    All resident runnable warps are blocked on a RAW/WAW hazard —
+    outstanding writebacks, typically memory latency.
+``no_free_cu``
+    A warp was selected but no collector unit (or execution port) could
+    accept it, and the operand collector shows no conflict backlog.
+``bank_conflict``
+    A warp was selected but every collector unit is occupied by an
+    instruction still waiting on register-bank reads that lost
+    arbitration in an earlier cycle — the Fig. 11 stall class.
+``barrier``
+    Every runnable warp is parked at its CTA barrier.
+``drain``
+    All resident warps have issued EXIT; the sub-core is waiting for the
+    CTA's siblings so resources can be released.
+``idle``
+    No warps are resident on the sub-core (partitioning-induced idleness
+    while sibling sub-cores work, or the SM itself has no CTA).
+
+This module is deliberately import-free of the core model so both the
+core (:mod:`repro.core.subcore`) and the renderers (:mod:`repro.viz`,
+:mod:`repro.metrics.profile_report`) can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+ISSUED = "issued"
+NO_READY_WARP = "no_ready_warp"
+SCOREBOARD = "scoreboard"
+NO_FREE_CU = "no_free_cu"
+BANK_CONFLICT = "bank_conflict"
+BARRIER = "barrier"
+DRAIN = "drain"
+IDLE = "idle"
+
+#: Every bucket, in the canonical top-down rendering order.
+STALL_BUCKETS = (
+    ISSUED,
+    NO_READY_WARP,
+    SCOREBOARD,
+    NO_FREE_CU,
+    BANK_CONFLICT,
+    BARRIER,
+    DRAIN,
+    IDLE,
+)
+
+
+def empty_buckets() -> Dict[str, int]:
+    """A zeroed bucket dict in canonical (insertion) order."""
+    return {bucket: 0 for bucket in STALL_BUCKETS}
+
+
+def merge_buckets(per_subcore: Sequence[Mapping[str, int]]) -> Dict[str, int]:
+    """Sum per-sub-core bucket dicts into one SM-level dict."""
+    total = empty_buckets()
+    for buckets in per_subcore:
+        for bucket in STALL_BUCKETS:
+            total[bucket] += buckets.get(bucket, 0)
+    return total

@@ -1,0 +1,185 @@
+"""The cycle-level event tracer.
+
+A :class:`Tracer` is an append-only event sink the core model emits into
+through ``if self.tracer is not None`` guards — when no tracer is
+attached the hooks cost a single attribute test, and an untraced run's
+stats are byte-identical to seed behaviour (a regression test pins
+this).
+
+Events are flat dicts (schema in :mod:`repro.obs.events`), ordered by
+emission, which simulation determinism makes reproducible: the same
+``(workload, config, num_sms)`` produces a byte-identical event stream
+in every process and under every ``PYTHONHASHSEED``.
+
+``max_cycles`` bounds trace size for long runs (the CLI's
+``--trace-cycles``): events at later cycles are counted in ``dropped``
+instead of stored.  Stall-attribution *counters* are not affected — the
+cap only limits the event stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from . import events as ev
+
+
+class Tracer:
+    """Collects model events for Chrome-trace / JSONL export."""
+
+    def __init__(self, max_cycles: Optional[int] = None):
+        if max_cycles is not None and max_cycles < 1:
+            raise ValueError("max_cycles must be >= 1")
+        self.max_cycles = max_cycles
+        self.events: List[Dict[str, Any]] = []
+        #: Events suppressed by the ``max_cycles`` cap.
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def active(self, cycle: int) -> bool:
+        """Whether events at ``cycle`` are still being recorded."""
+        return self.max_cycles is None or cycle < self.max_cycles
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        if self.active(event["t"]):
+            self.events.append(event)
+        else:
+            self.dropped += 1
+
+    # -- warp lifecycle ----------------------------------------------------
+
+    def warp_issue(
+        self,
+        cycle: int,
+        sm: int,
+        sc: int,
+        warp: int,
+        opcode: str,
+        pc: int,
+        policy: str,
+        greedy: bool,
+    ) -> None:
+        self._emit(
+            {
+                "t": cycle,
+                "e": ev.WARP_ISSUE,
+                "sm": sm,
+                "sc": sc,
+                "w": warp,
+                "op": opcode,
+                "pc": pc,
+                "pol": policy,
+                "greedy": int(greedy),
+            }
+        )
+
+    def warp_stall(
+        self, cycle: int, sm: int, sc: int, why: str, slots: int, dur: int = 1
+    ) -> None:
+        self._emit(
+            {
+                "t": cycle,
+                "e": ev.WARP_STALL,
+                "sm": sm,
+                "sc": sc,
+                "why": why,
+                "slots": slots,
+                "dur": dur,
+            }
+        )
+
+    def warp_barrier(self, cycle: int, sm: int, sc: int, warp: int) -> None:
+        self._emit(
+            {"t": cycle, "e": ev.WARP_BARRIER, "sm": sm, "sc": sc, "w": warp}
+        )
+
+    def warp_exit(self, cycle: int, sm: int, sc: int, warp: int) -> None:
+        self._emit({"t": cycle, "e": ev.WARP_EXIT, "sm": sm, "sc": sc, "w": warp})
+
+    def warp_migrate(
+        self, cycle: int, sm: int, to_sc: int, warp: int, from_sc: int
+    ) -> None:
+        self._emit(
+            {
+                "t": cycle,
+                "e": ev.WARP_MIGRATE,
+                "sm": sm,
+                "sc": to_sc,
+                "w": warp,
+                "from": from_sc,
+            }
+        )
+
+    # -- CTA lifecycle -----------------------------------------------------
+
+    def cta_launch(self, cycle: int, sm: int, cta: int, num_warps: int) -> None:
+        self._emit(
+            {"t": cycle, "e": ev.CTA_LAUNCH, "sm": sm, "cta": cta, "n": num_warps}
+        )
+
+    def cta_retire(self, cycle: int, sm: int, cta: int, latency: int) -> None:
+        self._emit(
+            {
+                "t": cycle,
+                "e": ev.CTA_RETIRE,
+                "sm": sm,
+                "cta": cta,
+                "dur": max(1, latency),
+            }
+        )
+
+    # -- operand collector -------------------------------------------------
+
+    def cu_span(
+        self,
+        start_cycle: int,
+        sm: int,
+        sc: int,
+        cu: int,
+        warp: int,
+        opcode: str,
+        dur: int,
+    ) -> None:
+        self._emit(
+            {
+                "t": start_cycle,
+                "e": ev.CU_SPAN,
+                "sm": sm,
+                "sc": sc,
+                "cu": cu,
+                "w": warp,
+                "op": opcode,
+                "dur": max(1, dur),
+            }
+        )
+
+    def bank_conflict(self, cycle: int, sm: int, sc: int, waiting: int) -> None:
+        self._emit(
+            {"t": cycle, "e": ev.BANK_CONFLICT, "sm": sm, "sc": sc, "n": waiting}
+        )
+
+    # -- memory ------------------------------------------------------------
+
+    def mem_access(
+        self,
+        cycle: int,
+        sm: int,
+        kind: str,
+        dur: int,
+        l1_hits: Optional[int] = None,
+        l1_misses: Optional[int] = None,
+    ) -> None:
+        event: Dict[str, Any] = {
+            "t": cycle,
+            "e": ev.MEM_ACCESS,
+            "sm": sm,
+            "kind": kind,
+            "dur": max(1, dur),
+        }
+        if l1_hits is not None:
+            event["h"] = l1_hits
+        if l1_misses is not None:
+            event["m"] = l1_misses
+        self._emit(event)

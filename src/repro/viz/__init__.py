@@ -1,5 +1,23 @@
 """Terminal (ASCII) chart rendering for figure output."""
 
-from .ascii_charts import bar_chart, hbar, histogram, sparkline, speedup_chart, timeline
+from .ascii_charts import (
+    bar_chart,
+    hbar,
+    histogram,
+    sparkline,
+    speedup_chart,
+    stacked_bar_chart,
+    stall_chart,
+    timeline,
+)
 
-__all__ = ["bar_chart", "hbar", "histogram", "sparkline", "speedup_chart", "timeline"]
+__all__ = [
+    "bar_chart",
+    "hbar",
+    "histogram",
+    "sparkline",
+    "speedup_chart",
+    "stacked_bar_chart",
+    "stall_chart",
+    "timeline",
+]

@@ -142,3 +142,92 @@ def speedup_chart(
         fmt="{:+.1%}".replace("%", "%%") if False else "{:.3f}x",
         baseline=1.0,
     )
+
+
+#: Fill characters for stacked-bar categories, cycled in category order.
+_STACK_FILLS = "█▓▒░╬≡:·"
+
+
+def stacked_bar_chart(
+    title: str,
+    rows: Mapping[str, Mapping[str, float]],
+    categories: Optional[Sequence[str]] = None,
+    width: int = 50,
+    legend: bool = True,
+) -> str:
+    """Normalized stacked horizontal bars (top-down breakdown view).
+
+    ``rows`` maps a row label to its per-category values; every row is
+    normalized to its own total so each bar spans ``width`` cells split
+    proportionally between categories.  ``categories`` fixes segment
+    order (and the legend); by default the union of row keys in first-
+    seen order.  Zero-total rows render empty.
+    """
+    if not rows:
+        return f"{title}\n(no data)"
+    if categories is None:
+        seen: Dict[str, None] = {}
+        for values in rows.values():
+            for key in values:
+                seen[key] = None
+        categories = list(seen)
+    fills = {
+        cat: _STACK_FILLS[i % len(_STACK_FILLS)]
+        for i, cat in enumerate(categories)
+    }
+    label_w = max(len(k) for k in rows)
+    lines = [title, "-" * len(title)]
+    for label, values in rows.items():
+        total = sum(values.get(c, 0) for c in categories)
+        if total <= 0:
+            lines.append(f"{label:<{label_w}} |{'':<{width}}| (empty)")
+            continue
+        # Largest-remainder apportionment so the segments always sum to
+        # exactly ``width`` cells.
+        quotas = [values.get(c, 0) / total * width for c in categories]
+        cells = [int(q) for q in quotas]
+        remainders = sorted(
+            range(len(categories)),
+            key=lambda i: (-(quotas[i] - cells[i]), i),
+        )
+        for i in remainders[: width - sum(cells)]:
+            cells[i] += 1
+        bar = "".join(
+            fills[c] * n for c, n in zip(categories, cells) if n
+        )
+        lines.append(f"{label:<{label_w}} |{bar:<{width}}|")
+    if legend:
+        lines.append(
+            "legend: "
+            + "  ".join(f"{fills[c]} {c}" for c in categories)
+        )
+    return "\n".join(lines)
+
+
+def stall_chart(
+    per_subcore_buckets: Sequence[Mapping[str, float]],
+    title: str = "issue-slot attribution",
+    width: int = 50,
+) -> str:
+    """Stacked stall-attribution chart, one bar per sub-core.
+
+    Input is ``SMStats.stall_cycles``: one taxonomy-bucket dict per
+    sub-core in sub-core order (see :mod:`repro.obs.stall`).  Buckets
+    render in taxonomy order so segments line up across sub-cores.
+    """
+    from ..obs.stall import STALL_BUCKETS
+
+    rows = {
+        f"sc{i}": buckets for i, buckets in enumerate(per_subcore_buckets)
+    }
+    categories = [
+        b
+        for b in STALL_BUCKETS
+        if any(bk.get(b, 0) for bk in per_subcore_buckets)
+    ]
+    return stacked_bar_chart(
+        title,
+        rows,
+        categories=categories or list(STALL_BUCKETS),
+        width=width,
+    )
