@@ -20,7 +20,10 @@ byte-identical to an unsanitized one — and checks, every stepped cycle:
 * **shared memory / CTA residency** — within configured capacity and
   equal to the resident CTAs' footprints;
 * **issue accounting** — the SM's instruction counter equal to the sum
-  of its sub-core schedulers' counters.
+  of its sub-core schedulers' counters;
+* **liveness** — resident CTAs imply a pending wake-up event
+  (``SM.next_event`` must never return None while CTAs are resident;
+  scoreboard/barrier deadlocks are caught the cycle they form).
 
 At kernel end (:meth:`Sanitizer.end_of_kernel`): warps launched ==
 warps retired, no residual CTA, queued read, or busy CU.  On collected
@@ -222,6 +225,23 @@ class Sanitizer:
                 counter="warps",
                 expected=launched,
                 actual=retired + in_flight,
+            )
+
+        # Liveness: resident CTAs imply a next event.  An SM whose warps
+        # are all wedged (blocked with an empty writeback heap, or parked
+        # at a barrier no one will ever reach) would make next_event()
+        # return None and the cycle loop hang or mis-fast-forward; catch
+        # it at the cycle it first becomes true, with full state context.
+        if sm.resident_ctas and sm.next_event(now) is None:
+            raise InvariantViolation(
+                "liveness",
+                "resident CTAs but no future event will ever wake this SM "
+                "(scoreboard or barrier deadlock)",
+                cycle=now,
+                sm_id=sm_id,
+                counter="next_event",
+                expected="a wake-up cycle",
+                actual=None,
             )
 
     # -- end of kernel ----------------------------------------------------

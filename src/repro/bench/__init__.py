@@ -1,0 +1,42 @@
+"""``repro.bench``: the simulator's performance-trajectory harness.
+
+Runs a pinned micro/macro point set (:mod:`repro.bench.suite`), times
+each point, and emits a machine-readable ``BENCH_*.json`` report with
+wall time, simulated cycles/sec, a calibration-normalized throughput
+figure, and an optional per-stage (stall-bucket) breakdown from the
+``repro.obs`` hooks.  ``python -m repro.bench --help`` for the CLI;
+docs/performance.md for how to read the reports.
+
+The committed ``BENCH_baseline.json`` at the repo root is the reference
+the CI ``bench-smoke`` job gates against; ``BENCH_pr<N>.json`` files
+record the trajectory across PRs.
+"""
+
+from .compare import Comparison, compare_reports
+from .harness import REPORT_SCHEMA, calibrate, run_point, run_suite, summary
+from .schema import validate_report
+from .suite import (
+    FULL_SUITE,
+    QUICK_SUITE,
+    SUITE_VERSION,
+    SUITES,
+    BenchPoint,
+    get_suite,
+)
+
+__all__ = [
+    "BenchPoint",
+    "Comparison",
+    "FULL_SUITE",
+    "QUICK_SUITE",
+    "REPORT_SCHEMA",
+    "SUITES",
+    "SUITE_VERSION",
+    "calibrate",
+    "compare_reports",
+    "get_suite",
+    "run_point",
+    "run_suite",
+    "summary",
+    "validate_report",
+]

@@ -1,0 +1,180 @@
+"""Command-line entry point for the benchmark harness.
+
+Usage::
+
+    python -m repro.bench                       # full suite → BENCH.json
+    python -m repro.bench --quick               # CI subset
+    python -m repro.bench --output BENCH_pr6.json
+    python -m repro.bench --baseline BENCH_baseline.json
+                                                # + regression gate (exit 1
+                                                #   on >20% normalized slowdown)
+    python -m repro.bench --max-regression 0.1  # tighten the gate
+    python -m repro.bench --repeats 3           # timing repeats per point
+    python -m repro.bench --no-stages           # skip the stall breakdown
+    python -m repro.bench --validate FILE...    # schema-check reports only
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .compare import compare_reports
+from .harness import run_suite, summary
+from .schema import validate_report
+
+
+class _CLIError(ValueError):
+    pass
+
+
+def _parse(args: List[str]) -> dict:
+    opts = {
+        "suite": "full",
+        "output": None,
+        "baseline": None,
+        "max_regression": 0.20,
+        "repeats": 2,
+        "stages": None,
+        "validate": [],
+        "help": False,
+    }
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg in ("-h", "--help"):
+            opts["help"] = True
+        elif arg == "--quick":
+            opts["suite"] = "quick"
+        elif arg == "--full":
+            opts["suite"] = "full"
+        elif arg == "--no-stages":
+            opts["stages"] = False
+        elif arg == "--stages":
+            opts["stages"] = True
+        elif arg == "--validate":
+            opts["validate"] = args[i + 1 :]
+            if not opts["validate"]:
+                raise _CLIError("--validate requires at least one file")
+            break
+        elif arg in ("--output", "--baseline", "--max-regression", "--repeats"):
+            if i + 1 >= len(args):
+                raise _CLIError(f"{arg} requires a value")
+            i += 1
+            value = args[i]
+            if arg == "--output":
+                opts["output"] = value
+            elif arg == "--baseline":
+                opts["baseline"] = value
+            elif arg == "--max-regression":
+                try:
+                    opts["max_regression"] = float(value)
+                except ValueError:
+                    raise _CLIError(f"--max-regression expects a number, got {value!r}")
+                if not 0 <= opts["max_regression"] < 1:
+                    raise _CLIError("--max-regression must be in [0, 1)")
+            else:
+                try:
+                    opts["repeats"] = int(value)
+                except ValueError:
+                    raise _CLIError(f"--repeats expects an integer, got {value!r}")
+                if opts["repeats"] < 1:
+                    raise _CLIError("--repeats must be >= 1")
+        else:
+            raise _CLIError(f"unknown option: {arg}")
+        i += 1
+    return opts
+
+
+def _validate_files(paths: List[str]) -> int:
+    status = 0
+    for raw in paths:
+        path = Path(raw)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        problems = validate_report(doc)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            print(f"{path}: OK ({len(doc['points'])} points)")
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    try:
+        opts = _parse(args)
+    except _CLIError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if opts["help"]:
+        print(__doc__)
+        return 0
+    if opts["validate"]:
+        return _validate_files(opts["validate"])
+
+    # Read and validate the baseline before spending minutes on the
+    # suite: a typo'd path should fail in milliseconds.
+    baseline = None
+    if opts["baseline"] is not None:
+        try:
+            baseline = json.loads(Path(opts["baseline"]).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"baseline {opts['baseline']}: unreadable: {exc}", file=sys.stderr)
+            return 2
+        base_problems = validate_report(baseline)
+        if base_problems:
+            for problem in base_problems:
+                print(f"baseline {opts['baseline']}: {problem}", file=sys.stderr)
+            return 2
+
+    report = run_suite(
+        suite=opts["suite"],
+        repeats=opts["repeats"],
+        stages=opts["stages"],
+        progress=sys.stderr.isatty(),
+    )
+    problems = validate_report(report)
+    if problems:  # pragma: no cover - a harness bug, not an input error
+        for problem in problems:
+            print(f"internal: generated report invalid: {problem}", file=sys.stderr)
+        return 1
+
+    cmp = None
+    if baseline is not None:
+        cmp = compare_reports(
+            baseline, report, max_regression=opts["max_regression"]
+        )
+        # The written report records what it was measured against, so a
+        # committed BENCH_pr<N>.json carries its own speedup evidence.
+        report["baseline_comparison"] = {
+            "baseline_path": opts["baseline"],
+            "baseline_normalized_cycles_per_sec": cmp.baseline_norm,
+            "candidate_normalized_cycles_per_sec": cmp.candidate_norm,
+            "ratio": cmp.ratio,
+            "max_regression": opts["max_regression"],
+            "regressed": cmp.regressed,
+        }
+
+    out = Path(opts["output"] or "BENCH.json")
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    print(summary(report))
+    print(f"report written to {out}")
+
+    if cmp is not None:
+        print(cmp.summary())
+        if cmp.regressed:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

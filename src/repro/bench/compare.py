@@ -1,0 +1,113 @@
+"""Regression comparison between two bench reports.
+
+The gate metric is ``totals.normalized_cycles_per_sec`` — throughput
+normalized by the in-process calibration score — so a committed baseline
+recorded on one machine remains meaningful on another (CI runners
+included).  A candidate *regresses* when its normalized throughput falls
+more than ``max_regression`` below the baseline's.
+
+Reports are only comparable when their suite name and
+``suite_version`` match; comparing disjoint point sets would let a suite
+edit masquerade as a speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Comparison:
+    """Outcome of comparing a candidate report against a baseline."""
+
+    baseline_norm: float
+    candidate_norm: float
+    max_regression: float
+    problems: List[str] = field(default_factory=list)
+    per_point: List[dict] = field(default_factory=list)
+
+    @property
+    def ratio(self) -> float:
+        """candidate / baseline normalized throughput (>1 = faster)."""
+        if self.baseline_norm <= 0:
+            return 0.0
+        return self.candidate_norm / self.baseline_norm
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.problems) or self.ratio < (1.0 - self.max_regression)
+
+    def summary(self) -> str:
+        lines = []
+        if self.problems:
+            lines.extend(f"comparison problem: {p}" for p in self.problems)
+        lines.append(
+            f"normalized cycles/sec: baseline {self.baseline_norm:.6f} → "
+            f"candidate {self.candidate_norm:.6f} ({self.ratio:.2f}x)"
+        )
+        for row in self.per_point:
+            lines.append(
+                f"  {row['name']:<22} {row['ratio']:>6.2f}x "
+                f"({row['baseline']:.6f} → {row['candidate']:.6f})"
+            )
+        verdict = (
+            f"REGRESSED (>{self.max_regression:.0%} below baseline)"
+            if self.regressed
+            else "OK"
+        )
+        lines.append(f"bench-compare: {verdict}")
+        return "\n".join(lines)
+
+
+def _point_norms(report: dict) -> dict:
+    norms = {}
+    for entry in report.get("points", ()):
+        norm = entry.get("normalized_cycles_per_sec")
+        if isinstance(norm, (int, float)) and norm:
+            norms[entry["name"]] = float(norm)
+    return norms
+
+
+def compare_reports(
+    baseline: dict,
+    candidate: dict,
+    max_regression: float = 0.20,
+) -> Comparison:
+    """Compare a candidate report against a baseline report."""
+    problems: List[str] = []
+    for key in ("suite", "suite_version"):
+        if baseline.get(key) != candidate.get(key):
+            problems.append(
+                f"{key} mismatch: baseline {baseline.get(key)!r} vs "
+                f"candidate {candidate.get(key)!r}"
+            )
+
+    def _norm(report: dict) -> float:
+        totals = report.get("totals") or {}
+        value = totals.get("normalized_cycles_per_sec")
+        return float(value) if isinstance(value, (int, float)) else 0.0
+
+    base_points = _point_norms(baseline)
+    cand_points = _point_norms(candidate)
+    per_point = []
+    for name, base_norm in base_points.items():
+        cand_norm: Optional[float] = cand_points.get(name)
+        if cand_norm is None:
+            problems.append(f"candidate is missing point {name!r}")
+            continue
+        per_point.append(
+            {
+                "name": name,
+                "baseline": base_norm,
+                "candidate": cand_norm,
+                "ratio": cand_norm / base_norm if base_norm > 0 else 0.0,
+            }
+        )
+    return Comparison(
+        baseline_norm=_norm(baseline),
+        candidate_norm=_norm(candidate),
+        max_regression=max_regression,
+        problems=problems,
+        per_point=per_point,
+    )

@@ -1,0 +1,118 @@
+"""Validation of ``BENCH_*.json`` reports.
+
+The bench report is the repo's performance trajectory record — CI and the
+regression gate both consume it — so its shape is validated explicitly
+rather than trusted.  Validation is dependency-free (no jsonschema):
+:func:`validate_report` walks the document and returns a list of
+human-readable problems, empty when the report is well-formed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from .harness import REPORT_SCHEMA
+
+_REPORT_FIELDS = {
+    "schema": int,
+    "suite": str,
+    "suite_version": int,
+    "sim_version": str,
+    "python": str,
+    "platform": str,
+    "repeats": int,
+    "calibration_ops_per_sec": float,
+    "points": list,
+    "totals": dict,
+}
+
+_POINT_FIELDS = {
+    "name": str,
+    "app": str,
+    "design": str,
+    "cycles": int,
+    "instructions": int,
+    "wall_seconds": float,
+    "cycles_per_sec": float,
+    "insts_per_sec": float,
+}
+
+_COMPARISON_FIELDS = {
+    "baseline_path": str,
+    "baseline_normalized_cycles_per_sec": float,
+    "candidate_normalized_cycles_per_sec": float,
+    "ratio": float,
+    "max_regression": float,
+    "regressed": bool,
+}
+
+_TOTAL_FIELDS = {
+    "wall_seconds": float,
+    "cycles": int,
+    "instructions": int,
+    "cycles_per_sec": float,
+    "insts_per_sec": float,
+    "normalized_cycles_per_sec": float,
+}
+
+
+def _check_fields(doc: dict, fields: dict, where: str, problems: List[str]) -> None:
+    for key, typ in fields.items():
+        if key not in doc:
+            problems.append(f"{where}: missing field {key!r}")
+        elif typ is float:
+            if not isinstance(doc[key], (int, float)) or isinstance(doc[key], bool):
+                problems.append(f"{where}: {key!r} must be a number")
+        elif not isinstance(doc[key], typ) or isinstance(doc[key], bool) and typ is int:
+            problems.append(f"{where}: {key!r} must be {typ.__name__}")
+
+
+def validate_report(doc: Any) -> List[str]:
+    """All structural problems with a bench report (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["report must be a JSON object"]
+    _check_fields(doc, _REPORT_FIELDS, "report", problems)
+    if doc.get("schema") != REPORT_SCHEMA:
+        problems.append(
+            f"report: schema {doc.get('schema')!r} != supported {REPORT_SCHEMA}"
+        )
+    points = doc.get("points")
+    if isinstance(points, list):
+        if not points:
+            problems.append("report: points must be non-empty")
+        for i, entry in enumerate(points):
+            where = f"points[{i}]"
+            if not isinstance(entry, dict):
+                problems.append(f"{where}: must be an object")
+                continue
+            _check_fields(entry, _POINT_FIELDS, where, problems)
+            if isinstance(entry.get("cycles"), int) and entry["cycles"] <= 0:
+                problems.append(f"{where}: cycles must be positive")
+            if (
+                isinstance(entry.get("wall_seconds"), (int, float))
+                and entry["wall_seconds"] <= 0
+            ):
+                problems.append(f"{where}: wall_seconds must be positive")
+            shares = entry.get("stall_shares")
+            if shares is not None:
+                if not isinstance(shares, dict):
+                    problems.append(f"{where}: stall_shares must be an object")
+                else:
+                    total = sum(shares.values())
+                    if shares and abs(total - 1.0) > 1e-6 and total != 0.0:
+                        problems.append(
+                            f"{where}: stall_shares sum to {total}, expected 1"
+                        )
+    totals = doc.get("totals")
+    if isinstance(totals, dict):
+        _check_fields(totals, _TOTAL_FIELDS, "totals", problems)
+    comparison = doc.get("baseline_comparison")
+    if comparison is not None:
+        if not isinstance(comparison, dict):
+            problems.append("baseline_comparison: must be an object")
+        else:
+            _check_fields(
+                comparison, _COMPARISON_FIELDS, "baseline_comparison", problems
+            )
+    return problems

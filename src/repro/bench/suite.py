@@ -1,0 +1,84 @@
+"""The pinned benchmark point set.
+
+Benchmark points are *performance* probes, not correctness probes: each
+one pins a (workload, design) pair that stresses a different part of the
+simulator's hot path, so a regression in any per-cycle stage (issue,
+arbitration, collector dispatch, memory, fast-forward) moves at least one
+point.  The set is deliberately small and stable — ``BENCH_*.json`` files
+recorded at different commits are only comparable when the points match.
+
+``QUICK_SUITE`` is the CI subset (a couple of seconds of simulation);
+``FULL_SUITE`` adds the design axes (RBA scoring, the fully-connected SM,
+TPC-H's imbalanced shape) for local trajectory tracking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Bump when the point set changes; reports with different suite versions
+#: must not be compared by the regression gate.
+SUITE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchPoint:
+    """One benchmark point: a workload under a named design.
+
+    ``app`` is either a workload-registry name (``cg-lou``) or a
+    microbenchmark spec ``fma:<layout>:<count>`` resolved through
+    :func:`repro.workloads.fma_microbenchmark`.
+    """
+
+    name: str
+    app: str
+    design: str = "baseline"
+    num_sms: Optional[int] = None
+
+    def build_kernel(self):
+        """Synthesize the point's kernel trace (outside the timed region)."""
+        if self.app.startswith("fma:"):
+            from ..workloads import fma_microbenchmark
+
+            _, layout, count = self.app.split(":")
+            return fma_microbenchmark(layout, fmas=int(count))
+        from ..workloads import get_kernel
+
+        return get_kernel(self.app)
+
+    def resolve_config(self):
+        """The point's resolved design config."""
+        from ..experiments.designs import get_design
+
+        return get_design(self.design)
+
+    def label(self) -> str:
+        sms = f" num_sms={self.num_sms}" if self.num_sms is not None else ""
+        return f"{self.app} × {self.design}{sms}"
+
+
+#: CI subset: one micro point (pure issue/collector pressure), one
+#: register-bank-bound macro point, one shared-memory + barrier point.
+QUICK_SUITE: Tuple[BenchPoint, ...] = (
+    BenchPoint("micro-fma-unbalanced", "fma:unbalanced:512"),
+    BenchPoint("cg-lou-baseline", "cg-lou"),
+    BenchPoint("pb-sgemm-baseline", "pb-sgemm"),
+)
+
+#: Local trajectory set: the quick points plus the design axes.
+FULL_SUITE: Tuple[BenchPoint, ...] = QUICK_SUITE + (
+    BenchPoint("cg-lou-rba", "cg-lou", design="rba"),
+    BenchPoint("pb-sgemm-fc", "pb-sgemm", design="fully_connected"),
+    BenchPoint("tpcU-q8-baseline", "tpcU-q8"),
+    BenchPoint("rod-nw-srr", "rod-nw", design="srr"),
+)
+
+SUITES = {"quick": QUICK_SUITE, "full": FULL_SUITE}
+
+
+def get_suite(name: str) -> Tuple[BenchPoint, ...]:
+    try:
+        return SUITES[name]
+    except KeyError:
+        raise KeyError(f"unknown suite {name!r}; options: {sorted(SUITES)}")

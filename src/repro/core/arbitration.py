@@ -74,15 +74,24 @@ class ArbitrationUnit:
             return 0
         grants = 0
         conflicted = False
-        for q in self.queues:
-            for _ in range(self.read_ports):
-                if not q:
-                    break
-                cu = q.popleft()
-                cu.operand_granted()
-                grants += 1
-            if q:
-                conflicted = True
+        if self.read_ports == 1:
+            # Volta's single read port per bank: branch-free inner loop.
+            for q in self.queues:
+                if q:
+                    q.popleft().operand_granted()
+                    grants += 1
+                    if q:
+                        conflicted = True
+        else:
+            for q in self.queues:
+                for _ in range(self.read_ports):
+                    if not q:
+                        break
+                    cu = q.popleft()
+                    cu.operand_granted()
+                    grants += 1
+                if q:
+                    conflicted = True
         self.pending -= grants
         self.total_grants += grants
         if conflicted:

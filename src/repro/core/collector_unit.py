@@ -42,7 +42,7 @@ class CollectorUnit:
             raise RuntimeError(f"CU {self.cu_id} double allocation")
         self.warp = warp
         self.instruction = inst
-        self.pending_operands = inst.num_src_operands
+        self.pending_operands = inst.num_src
         self.allocated_cycle = cycle
 
     def operand_granted(self) -> None:

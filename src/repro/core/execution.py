@@ -48,17 +48,23 @@ class Pipeline:
         self.stats = PipelineStats()
 
     def can_accept(self, now: int) -> bool:
-        return min(self.port_free) <= now
+        ports = self.port_free
+        free = ports[0] if len(ports) == 1 else min(ports)
+        return free <= now
 
     def issue(self, inst: Instruction, now: int) -> int:
         """Occupy the freest port; return the execution-complete cycle."""
-        interval = max(inst.opcode.initiation_interval, self.lane_interval)
+        info = inst.info
+        interval = max(info.initiation_interval, self.lane_interval)
         ports = self.port_free
-        idx = min(range(len(ports)), key=ports.__getitem__)
-        ports[idx] = now + interval
+        if len(ports) == 1:
+            ports[0] = now + interval
+        else:
+            idx = min(range(len(ports)), key=ports.__getitem__)
+            ports[idx] = now + interval
         self.stats.issued += 1
         self.stats.busy_cycles += interval
-        return now + interval + inst.opcode.latency
+        return now + interval + info.latency
 
 
 class ExecutionUnits:
@@ -79,7 +85,7 @@ class ExecutionUnits:
         }
 
     def pipeline_for(self, inst: Instruction) -> Pipeline:
-        return self.pipelines[inst.opcode.unit]
+        return self.pipelines[inst.info.unit]
 
     def can_accept(self, inst: Instruction, now: int) -> bool:
         return self.pipeline_for(inst).can_accept(now)

@@ -229,14 +229,36 @@ class StreamingMultiprocessor:
         # Dispatch first (CUs completed in earlier cycles), then issue (new
         # CU allocations enqueue their reads), then collect — so an operand
         # can be granted in its allocation cycle but dispatch is always at
-        # least one cycle after allocation.
+        # least one cycle after allocation.  Each phase call is guarded by
+        # the condition its own early-return would test: on stall-heavy
+        # workloads most sub-core phases are no-ops, and the guards keep
+        # those off the call stack while recording the exact counters the
+        # skipped call would have.
         grants = 0
-        for sc in self.subcores:
-            sc.dispatch_ready_cus(now)
-        for sc in self.subcores:
-            sc.issue(now)
-        for sc in self.subcores:
-            grants += sc.collect_operands(now)
+        subcores = self.subcores
+        for sc in subcores:
+            if sc._busy_cus:
+                sc.dispatch_ready_cus(now)
+        for sc in subcores:
+            if sc.ready:
+                sc.issue(now)
+            else:
+                # Inlined empty-ready issue(): one stalled scheduler cycle.
+                sc.issue_stall_no_ready += 1
+                if sc.stall_cycles is not None:
+                    sc._attribute_stall(
+                        sc._stall_reason(), sc.config.issue_width, now
+                    )
+        for sc in subcores:
+            # With no queued reads grant_cycle is a no-op (the delayed-RBA
+            # history dedupes unchanged all-zero snapshots), so the call is
+            # skipped outright.  collect_operands is inlined: one grant
+            # round, reads accounted to the RF slice.
+            if sc.arbitration.pending:
+                got = sc.arbitration.grant_cycle(now)
+                if got:
+                    sc.register_file.note_reads(got)
+                    grants += got
 
         if self.config.work_stealing:
             self._try_steal(now)
@@ -298,16 +320,65 @@ class StreamingMultiprocessor:
     def next_event(self, now: int) -> Optional[int]:
         """Earliest cycle this SM needs to step again, or None if idle.
 
-        ``now + 1`` while any sub-core can make progress on its own;
-        otherwise the next writeback event (the memory-stall fast-forward).
+        The per-SM event horizon: the minimum over each sub-core's local
+        horizon (``now + 1`` while it can make progress on its own, the
+        earliest execution-port release while collected instructions wait
+        behind busy ports) and the next writeback event (the memory-stall
+        fast-forward).  None with resident CTAs means deadlock — nothing
+        will ever wake this SM again.
         """
         if not self.resident_ctas:
             return None
-        if any(not sc.quiescent() for sc in self.subcores):
-            return now + 1
+        horizon: Optional[int] = None
+        if self.config.work_stealing:
+            # _try_steal runs every stepped cycle and can migrate warps
+            # while none is READY (donors may be BLOCKED), so only the
+            # all-quiescent writeback fast-forward is safe to keep.
+            if any(not sc.quiescent() for sc in self.subcores):
+                return now + 1
+        else:
+            for sc in self.subcores:
+                event = sc.next_local_event(now)
+                if event is not None:
+                    if event <= now + 1:
+                        return now + 1
+                    if horizon is None or event < horizon:
+                        horizon = event
         if self._wb_heap:
-            return self._wb_heap[0][0]
-        return None
+            wb = self._wb_heap[0][0]
+            if wb <= now + 1:
+                return now + 1
+            if horizon is None or wb < horizon:
+                horizon = wb
+        return horizon
+
+    def dormant(self) -> bool:
+        """All sub-cores quiescent: only scheduled events can wake this SM.
+
+        The classifier for fast-forward accounting: a jump over a window in
+        which every active SM is dormant skips cycles the simulator never
+        accounted per-cycle (the original writeback fast-forward); a jump
+        while any active SM merely waits on execution ports skips cycles
+        that used to be stepped, so their counters are reproduced in closed
+        form via account_skipped_steps.
+        """
+        return all(sc.quiescent() for sc in self.subcores)
+
+    def account_skipped_steps(self, start: int, cycles: int) -> None:
+        """Reproduce the counters of ``cycles`` stepped no-progress cycles.
+
+        Called by the GPU cycle loop at fast-forward time for every active
+        SM when the skipped window would previously have been stepped (some
+        active SM non-dormant).  Warp states are static across the window,
+        so per-sub-core accounting is exact; advancing ``_last_stepped``
+        marks the window as stepped for the gap-attribution path.
+        """
+        for sc in self.subcores:
+            sc.account_skipped_steps(start, cycles)
+        if self.stall_attribution:
+            self._attr_cycles += cycles
+            if self._last_stepped is not None:
+                self._last_stepped = start + cycles - 1
 
     # -- introspection -------------------------------------------------------------
 

@@ -23,7 +23,7 @@ boundary), so a conflict-free instruction occupies its CU for one cycle.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Set, TYPE_CHECKING
+from typing import Callable, Collection, Dict, List, Optional, Set, TYPE_CHECKING
 
 from ..config import GPUConfig
 from ..isa import Instruction
@@ -40,7 +40,7 @@ from ..obs.stall import (
 )
 from .arbitration import ArbitrationUnit
 from .collector_unit import CollectorUnit
-from .execution import ExecutionUnits
+from .execution import ExecutionUnits, Pipeline
 from .register_file import RegisterFile
 from .warp import Warp, WarpState
 from .warp_scheduler import WarpScheduler, make_scheduler
@@ -74,6 +74,7 @@ class SubCore:
         self.execution = ExecutionUnits(config)
 
         self.max_warps = config.max_warps_per_subcore
+        self._issue_width = config.issue_width
         self.max_registers = config.registers_per_sm // config.subcores_per_sm
         self.warps: List[Warp] = []
         #: Warps currently in the READY state (maintained by Warp.set_state).
@@ -117,6 +118,7 @@ class SubCore:
         self._age_counter += 1
         self.warps.append(warp)
         warp.ready_pool = self.ready
+        warp.set_bank_view(self.register_file.mapper, self.register_file.num_banks)
         if warp.state is WarpState.READY:
             self.ready[warp] = None
         self.registers_used += regs_per_warp
@@ -134,21 +136,24 @@ class SubCore:
         """Phase 1: send fully-collected instructions to execution."""
         if not self._busy_cus:
             return
+        pipelines = self.execution.pipelines
         for cu in self.collector_units:
-            if not cu.ready:
-                continue
             inst = cu.instruction
-            warp = cu.warp
-            assert inst is not None and warp is not None
-            if not self.execution.can_accept(inst, now):
+            if inst is None or cu.pending_operands:
                 continue
+            pipe = pipelines[inst.info.unit]
+            ports = pipe.port_free
+            if (ports[0] if len(ports) == 1 else min(ports)) > now:
+                continue
+            warp = cu.warp
+            assert warp is not None
             if self.tracer is not None:
                 start, dur = cu.occupancy_span(now)
                 self.tracer.cu_span(
                     start, self.sm.sm_id, self.subcore_id, cu.cu_id,
                     warp.warp_id, inst.opcode.name, dur,
                 )
-            self._execute(warp, inst, now)
+            self._execute_on(pipe, warp, inst, now)
             cu.release()
             self._busy_cus -= 1
 
@@ -170,20 +175,29 @@ class SubCore:
                 )
             return 0
         issued = 0
-        issued_warps: Set[Warp] = set()  # membership-only; never iterated
+        # Lazily allocated: membership-only, never iterated.  With
+        # issue_width == 1 (every partitioned design) no set is ever built.
+        issued_warps: Optional[Set[Warp]] = None
         slots_issued = 0
         stall_reason: Optional[str] = None
-        for _ in range(self.config.issue_width):
+        ready = self.ready
+        scheduler = self.scheduler
+        for _ in range(self._issue_width):
             if issued_warps:
-                candidates = [w for w in self.ready if w not in issued_warps]
+                candidates: Collection[Warp] = [
+                    w for w in ready if w not in issued_warps
+                ]
+                if not candidates:
+                    self.issue_stall_no_ready += 1
+                    # Ready warps exist but each already issued this cycle.
+                    stall_reason = NO_READY_WARP
+                    break
             else:
-                candidates = list(self.ready)
-            if not candidates:
-                self.issue_stall_no_ready += 1
-                # Ready warps exist but each already issued this cycle.
-                stall_reason = NO_READY_WARP
-                break
-            warp = self.scheduler.select(candidates, now)
+                # First slot: hand the scheduler the live ready pool (an
+                # insertion-ordered dict-as-set) — select() only reads it,
+                # and copying it every cycle dominated the issue path.
+                candidates = ready
+            warp = scheduler.select(candidates, now)
             if warp is None:
                 stall_reason = NO_READY_WARP
                 break
@@ -194,6 +208,8 @@ class SubCore:
                 if attr is not None:
                     stall_reason = self._structural_stall_reason(now)
                 break
+            if issued_warps is None:
+                issued_warps = set()
             issued_warps.add(warp)
             issued += 1
             slots_issued += 1
@@ -212,11 +228,11 @@ class SubCore:
         if self.scheduler.steals_banks:
             free_cu = self._free_cu()
             if free_cu is not None:
+                skip: Collection[Warp] = issued_warps or ()
                 candidates = [
                     w
                     for w in self.ready
-                    if w not in issued_warps
-                    and w.next_instruction.reads_register_file
+                    if w not in skip and w.next_instruction.reads_rf
                 ]
                 victim = (
                     self.scheduler.steal_candidate(candidates, now)
@@ -297,31 +313,33 @@ class SubCore:
 
     def _free_cu(self) -> Optional[CollectorUnit]:
         for cu in self.collector_units:
-            if cu.free:
+            if cu.instruction is None:  # CollectorUnit.free, sans property call
                 return cu
         return None
 
     def _issue_warp(self, warp: Warp, now: int) -> bool:
         inst = warp.next_instruction
-        if inst.reads_register_file:
+        if inst.reads_rf:
             cu = self._free_cu()
             if cu is None:
                 return False
             self._allocate_cu(cu, warp, inst, now)
         else:
             # Direct path: no operands to collect.
-            if not self.execution.can_accept(inst, now):
+            pipe = self.execution.pipelines[inst.info.unit]
+            ports = pipe.port_free
+            if (ports[0] if len(ports) == 1 else min(ports)) > now:
                 return False
-            self._execute(warp, inst, now)
+            self._execute_on(pipe, warp, inst, now)
         self._post_issue(warp, inst, now)
         return True
 
     def _allocate_cu(self, cu: CollectorUnit, warp: Warp, inst: Instruction, now: int) -> None:
         cu.allocate(warp, inst, now)
         self._busy_cus += 1
-        for reg in inst.src_regs:
-            bank = self.register_file.bank_of(reg, warp.warp_id)
-            self.arbitration.request(cu, bank)
+        arbitration = self.arbitration
+        for bank in warp.src_banks_cached():
+            arbitration.request(cu, bank)
 
     def _post_issue(self, warp: Warp, inst: Instruction, now: int) -> None:
         tracer = self.tracer
@@ -336,20 +354,27 @@ class SubCore:
         warp.note_issue(inst)
         self.scheduler.note_issue(warp)
         self.instructions_issued += 1
-        self.sm.note_issue(self.subcore_id)
-        if inst.opcode.is_barrier:
+        self.sm.total_instructions += 1
+        info = inst.info
+        if info.is_barrier:
             if tracer is not None:
                 tracer.warp_barrier(now, self.sm.sm_id, self.subcore_id, warp.warp_id)
             self.sm.warp_at_barrier(warp)
-        elif inst.opcode.is_exit:
+        elif info.is_exit:
             if tracer is not None:
                 tracer.warp_exit(now, self.sm.sm_id, self.subcore_id, warp.warp_id)
             self.sm.warp_exited(warp, now)
 
     def _execute(self, warp: Warp, inst: Instruction, now: int) -> None:
         """Dispatch to the execution pipeline and schedule the writeback."""
-        t_exec = self.execution.issue(inst, now)
-        if inst.opcode.is_memory:
+        self._execute_on(self.execution.pipeline_for(inst), warp, inst, now)
+
+    def _execute_on(
+        self, pipe: "Pipeline", warp: Warp, inst: Instruction, now: int
+    ) -> None:
+        """_execute with the pipeline already resolved by the caller."""
+        t_exec = pipe.issue(inst, now)
+        if inst.info.is_memory:
             t_done = self.sm.memory_access(inst, t_exec, warp)
         else:
             t_done = t_exec
@@ -481,6 +506,58 @@ class SubCore:
         behind them need no per-cycle attention.)
         """
         return not (self.arbitration.pending or self._busy_cus or self.ready)
+
+    def next_local_event(self, now: int) -> Optional[int]:
+        """Earliest cycle this sub-core needs to be stepped, or None.
+
+        ``now + 1`` whenever a ready warp or a queued bank read can make
+        progress next cycle.  A sub-core whose only live work is collected
+        instructions parked behind busy execution ports needs no attention
+        until the earliest port frees — the shallow half of the SM's event
+        horizon.  None means quiescent (writeback events notwithstanding).
+        """
+        if self.ready or self.arbitration.pending:
+            return now + 1
+        if self._busy_cus:
+            horizon: Optional[int] = None
+            pipelines = self.execution.pipelines
+            for cu in self.collector_units:
+                inst = cu.instruction
+                if inst is None:
+                    continue
+                if cu.pending_operands:
+                    # A pending operand without a queued bank read would be
+                    # an invariant break; never fast-forward past it.
+                    return now + 1
+                free = min(pipelines[inst.info.unit].port_free)
+                if free <= now + 1:
+                    return now + 1
+                if horizon is None or free < horizon:
+                    horizon = free
+            return horizon if horizon is not None else now + 1
+        return None
+
+    def account_skipped_steps(self, start: int, cycles: int) -> None:
+        """Record counters exactly as ``cycles`` stepped cycles would have.
+
+        Called by the SM when the cycle loop fast-forwards over a window in
+        which this sub-core would have been stepped with an empty ready
+        pool and nothing to dispatch or collect (every port-wait skip).
+        Each such stepped cycle records one no-ready issue stall and, under
+        attribution, charges the current stall reason for every issue slot
+        — warp states are static across the window, so the closed form is
+        byte-identical to stepping.
+        """
+        self.issue_stall_no_ready += cycles
+        attr = self.stall_cycles
+        if attr is not None:
+            reason = self._stall_reason()
+            attr[reason] += cycles * self.config.issue_width
+            if self.tracer is not None:
+                self.tracer.warp_stall(
+                    start, self.sm.sm_id, self.subcore_id, reason,
+                    cycles * self.config.issue_width, dur=cycles,
+                )
 
     @property
     def active_warps(self) -> int:

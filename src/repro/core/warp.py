@@ -10,11 +10,12 @@ its scheduler — the GTO tie-break key.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Optional, Set, TYPE_CHECKING
+from typing import Dict, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..isa import Instruction
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..regalloc import BankMapper
     from ..trace import WarpTrace
     from .thread_block import ThreadBlock
 
@@ -46,6 +47,12 @@ class Warp:
         "issued_instructions",
         "finish_cycle",
         "ready_pool",
+        "next_instruction",
+        "_insts",
+        "_bank_mapper",
+        "_num_banks",
+        "_bank_pc",
+        "_bank_cache",
     )
 
     def __init__(
@@ -70,12 +77,21 @@ class Warp:
         #: The owning sub-core's ready pool (kept in sync by set_state).
         #: An insertion-ordered dict-as-set — see SubCore.ready.
         self.ready_pool: Optional[Dict["Warp", None]] = None
+        #: The instruction at the trace cursor, maintained by note_issue so
+        #: the issue path never re-indexes the trace.  After EXIT issues the
+        #: cursor runs off the trace and this keeps pointing at EXIT — a
+        #: FINISHED warp's next_instruction is never consulted.
+        self._insts = trace.instructions
+        self.next_instruction: Instruction = self._insts[0]
+        # Source-bank layout memo for the instruction at ``pc`` (the bank
+        # view is attached by SubCore.add_warp; identical across sub-cores
+        # of a config, so the memo survives migration).
+        self._bank_mapper: Optional["BankMapper"] = None
+        self._num_banks = 0
+        self._bank_pc = -1
+        self._bank_cache: Tuple[int, ...] = ()
 
     # -- trace cursor ------------------------------------------------------
-
-    @property
-    def next_instruction(self) -> Instruction:
-        return self.trace[self.pc]
 
     @property
     def done(self) -> bool:
@@ -93,11 +109,14 @@ class Warp:
         pending = self.pending_writes
         if not pending:
             return False
-        if inst.opcode.is_exit:
+        if inst.info.is_exit:
             return True
         if inst.dst_reg is not None and inst.dst_reg in pending:
             return True
-        return any(r in pending for r in inst.src_regs)
+        for r in inst.src_regs:
+            if r in pending:
+                return True
+        return False
 
     def set_state(self, state: WarpState) -> None:
         """Transition state, keeping the sub-core's ready pool in sync."""
@@ -111,7 +130,8 @@ class Warp:
 
     def refresh_state(self) -> None:
         """Recompute READY/BLOCKED from the scoreboard (after a writeback)."""
-        if self.state not in (WarpState.READY, WarpState.BLOCKED):
+        state = self.state
+        if state is not WarpState.READY and state is not WarpState.BLOCKED:
             return
         hazard = self.has_hazard(self.next_instruction)
         self.set_state(WarpState.BLOCKED if hazard else WarpState.READY)
@@ -124,8 +144,36 @@ class Warp:
         if inst.dst_reg is not None:
             self.pending_writes.add(inst.dst_reg)
         self.pc += 1
-        if self.pc < len(self.trace):
+        if self.pc < len(self._insts):
+            self.next_instruction = self._insts[self.pc]
             self.refresh_state()
+
+    # -- bank-layout memo (attached by the owning sub-core) -----------------
+
+    def set_bank_view(self, mapper: "BankMapper", num_banks: int) -> None:
+        """Attach the register-file bank view used by src_banks_cached."""
+        if mapper is not self._bank_mapper or num_banks != self._num_banks:
+            self._bank_mapper = mapper
+            self._num_banks = num_banks
+            self._bank_pc = -1
+
+    def src_banks_cached(self) -> Tuple[int, ...]:
+        """Banks of next_instruction's source operands (duplicates kept).
+
+        Equivalent to ``RegisterFile.src_banks(next_instruction, warp_id)``
+        but computed once per trace-cursor position instead of every
+        scheduler evaluation and collector-unit allocation of every cycle.
+        """
+        if self._bank_pc != self.pc:
+            mapper = self._bank_mapper
+            assert mapper is not None, "bank view not attached"
+            nb = self._num_banks
+            wid = self.warp_id
+            self._bank_cache = tuple(
+                mapper(r, wid, nb) for r in self.next_instruction.src_regs
+            )
+            self._bank_pc = self.pc
+        return self._bank_cache
 
     def complete_write(self, reg: int) -> None:
         self.pending_writes.discard(reg)

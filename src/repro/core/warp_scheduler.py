@@ -22,12 +22,18 @@ issue into a free collector unit.  Policies:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from operator import attrgetter
+from typing import Collection, List, Optional, Sequence
 
 from ..config import GPUConfig, SchedulerPolicy
 from .arbitration import ArbitrationUnit
 from .register_file import RegisterFile
 from .warp import Warp
+
+
+#: C-level age key for min()/sorted(); ties keep iteration order,
+#: exactly like the equivalent lambda.
+_AGE = attrgetter("age")
 
 
 class WarpScheduler:
@@ -42,7 +48,7 @@ class WarpScheduler:
         self.register_file = register_file
         self.last_issued: Optional[Warp] = None
 
-    def select(self, candidates: Sequence[Warp], now: int) -> Optional[Warp]:
+    def select(self, candidates: Collection[Warp], now: int) -> Optional[Warp]:
         raise NotImplementedError
 
     def note_issue(self, warp: Warp) -> None:
@@ -62,7 +68,7 @@ class WarpScheduler:
 
     # Bank stealing hook; only the BankStealingScheduler implements it.
     def steal_candidate(
-        self, candidates: Sequence[Warp], now: int
+        self, candidates: Collection[Warp], now: int
     ) -> Optional[Warp]:
         return None
 
@@ -94,14 +100,14 @@ class WarpScheduler:
 class LRRScheduler(WarpScheduler):
     name = "lrr"
 
-    def select(self, candidates: Sequence[Warp], now: int) -> Optional[Warp]:
+    def select(self, candidates: Collection[Warp], now: int) -> Optional[Warp]:
         if not candidates:
             return None
         if self.last_issued is None:
-            return min(candidates, key=lambda w: w.age)
+            return min(candidates, key=_AGE)
         pivot = self.last_issued.age
         # First warp strictly after the pivot in age order, wrapping around.
-        ordered = sorted(candidates, key=lambda w: w.age)
+        ordered = sorted(candidates, key=_AGE)
         for w in ordered:
             if w.age > pivot:
                 return w
@@ -111,19 +117,19 @@ class LRRScheduler(WarpScheduler):
 class GTOScheduler(WarpScheduler):
     name = "gto"
 
-    def select(self, candidates: Sequence[Warp], now: int) -> Optional[Warp]:
+    def select(self, candidates: Collection[Warp], now: int) -> Optional[Warp]:
         if not candidates:
             return None
         last = self.last_issued
         if last is not None and last in candidates:
             return last
-        return min(candidates, key=lambda w: w.age)
+        return min(candidates, key=_AGE)
 
 
 class RBAScheduler(WarpScheduler):
     name = "rba"
 
-    def select(self, candidates: Sequence[Warp], now: int) -> Optional[Warp]:
+    def select(self, candidates: Collection[Warp], now: int) -> Optional[Warp]:
         if not candidates:
             return None
         lengths = self.arbitration.queue_lengths(now)
@@ -131,10 +137,16 @@ class RBAScheduler(WarpScheduler):
         best = None
         best_key = None
         for w in candidates:
-            inst = w.next_instruction
+            if w._bank_mapper is None:
+                # Warps placed via SubCore.add_warp arrive with the view
+                # attached; bare warps (unit tests, scripts) get it here.
+                w.set_bank_view(rf.mapper, rf.num_banks)
             score = 0
-            for reg in inst.src_regs:
-                score += lengths[rf.bank_of(reg, w.warp_id)]
+            # The warp caches its operand->bank layout per trace position,
+            # so scoring is a couple of list reads instead of re-running
+            # the bank mapper per operand per candidate per cycle.
+            for bank in w.src_banks_cached():
+                score += lengths[bank]
             key = (score, w.age)
             if best_key is None or key < best_key:
                 best, best_key = w, key
@@ -146,7 +158,7 @@ class BankStealingScheduler(GTOScheduler):
     steals_banks = True
 
     def steal_candidate(
-        self, candidates: Sequence[Warp], now: int
+        self, candidates: Collection[Warp], now: int
     ) -> Optional[Warp]:
         """A ready warp whose next instruction only needs idle banks.
 
@@ -156,8 +168,10 @@ class BankStealingScheduler(GTOScheduler):
         """
         arb = self.arbitration
         rf = self.register_file
-        for w in sorted(candidates, key=lambda c: c.age):
-            banks = rf.src_banks(w.next_instruction, w.warp_id)
+        for w in sorted(candidates, key=_AGE):
+            if w._bank_mapper is None:
+                w.set_bank_view(rf.mapper, rf.num_banks)
+            banks = w.src_banks_cached()
             # Iterate the tuple directly: duplicate banks re-check the same
             # idle queue harmlessly, and no set order ever feeds the result
             # (simlint RPR001).
@@ -193,7 +207,7 @@ class TwoLevelScheduler(WarpScheduler):
     def _group(self, warp: Warp) -> int:
         return warp.age // self.group_size
 
-    def select(self, candidates: Sequence[Warp], now: int) -> Optional[Warp]:
+    def select(self, candidates: Collection[Warp], now: int) -> Optional[Warp]:
         if not candidates:
             return None
         in_group = [w for w in candidates if self._group(w) == self.active_group]
@@ -207,8 +221,8 @@ class TwoLevelScheduler(WarpScheduler):
             pivot = self.last_issued.age
             after = [w for w in in_group if w.age > pivot]
             if after:
-                return min(after, key=lambda w: w.age)
-        return min(in_group, key=lambda w: w.age)
+                return min(after, key=_AGE)
+        return min(in_group, key=_AGE)
 
 
 def make_scheduler(

@@ -352,21 +352,43 @@ class ExperimentEngine:
             return None
         path = self.cache_path(key)
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                doc = json.load(fh)
-            if doc.get("schema") != CACHE_SCHEMA:
-                return None
-            return SimStats.from_payload(doc["stats"])
+            fh = open(path, "r", encoding="utf-8")
         except FileNotFoundError:
             return None
-        except (OSError, ValueError, KeyError, TypeError):
-            # Corrupted or truncated entry: drop it and re-simulate.
+        except OSError:
             self.profile.disk_errors += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
             return None
+        with fh:
+            try:
+                doc = json.load(fh)
+                if doc.get("schema") != CACHE_SCHEMA:
+                    # A different cache generation, not corruption: leave
+                    # it for whichever engine version owns that schema.
+                    return None
+                return SimStats.from_payload(doc["stats"])
+            except (OSError, ValueError, KeyError, TypeError):
+                # Corrupted or truncated entry: drop it and re-simulate —
+                # but only the exact file we read.  On a shared cache
+                # directory a parallel _store_disk may have os.replace()d
+                # a fresh, valid entry over this path between our read
+                # and the unlink; a blind unlink would silently discard
+                # that result.  Comparing the open handle's identity with
+                # the path's current identity confines the unlink to the
+                # corrupted file.
+                self.profile.disk_errors += 1
+                self._unlink_exact(path, fh)
+                return None
+
+    @staticmethod
+    def _unlink_exact(path: Path, fh) -> None:
+        """Unlink ``path`` only while it still names the file open as ``fh``."""
+        try:
+            opened = os.fstat(fh.fileno())
+            current = os.stat(path)
+            if (opened.st_dev, opened.st_ino) == (current.st_dev, current.st_ino):
+                os.unlink(path)
+        except OSError:
+            pass
 
     def _store_disk(self, key: str, point: SimPoint, stats: SimStats) -> None:
         if not self.use_disk_cache:
@@ -381,12 +403,25 @@ class ExperimentEngine:
             fd, tmp = tempfile.mkstemp(
                 dir=self.cache_dir, prefix=f".{key[:16]}.", suffix=".tmp"
             )
+        except OSError:
+            # A read-only or full cache directory must never fail a run.
+            self.profile.disk_errors += 1
+            return
+        try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(doc, fh, sort_keys=True)
             os.replace(tmp, self.cache_path(key))
         except OSError:
-            # A read-only or full cache directory must never fail a run.
+            # Serialization or the atomic rename failed (disk full,
+            # permissions flipped, the final path is a directory, ...):
+            # count it and remove the orphaned temp file — mkstemp names
+            # are unique per call, so leaked ``.tmp`` files would pile up
+            # in a long-lived shared cache directory forever.
             self.profile.disk_errors += 1
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
     # -- execution ---------------------------------------------------------
 

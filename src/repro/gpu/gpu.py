@@ -109,6 +109,11 @@ class GPU:
                 sm.begin_attribution_window(start)
         scheduler.fill(now)
         active = [sm for sm in sms if not sm.idle]
+        if not active and not scheduler.done:
+            raise DeadlockError(
+                f"kernel {name!r}: {scheduler.pending_ctas} CTAs "
+                "pending but no SM can accept them"
+            )
 
         while active or not scheduler.done:
             if now - start > max_cycles:
@@ -118,22 +123,25 @@ class GPU:
             for sm in active:
                 sm.step(now)
 
+            # SM residency only changes when a CTA retires (resources_freed)
+            # or is placed by fill(), so the active list needs rebuilding
+            # only on those events rather than every iteration.
             freed = False
             for sm in active:
                 if sm.resources_freed:
                     sm.resources_freed = False
                     freed = True
-            if freed and not scheduler.done:
-                scheduler.fill(now)
-
-            active = [sm for sm in sms if not sm.idle]
-            if not active:
-                if scheduler.done:
-                    break
-                raise DeadlockError(
-                    f"kernel {name!r}: {scheduler.pending_ctas} CTAs "
-                    "pending but no SM can accept them"
-                )
+            if freed:
+                if not scheduler.done:
+                    scheduler.fill(now)
+                active = [sm for sm in sms if not sm.idle]
+                if not active:
+                    if scheduler.done:
+                        break
+                    raise DeadlockError(
+                        f"kernel {name!r}: {scheduler.pending_ctas} CTAs "
+                        "pending but no SM can accept them"
+                    )
 
             now = self._advance(active, now, name)
 
@@ -145,7 +153,17 @@ class GPU:
         return self._collect_stats(sms, self.now - start, name, base)
 
     def _advance(self, active: List[StreamingMultiprocessor], now: int, name: str) -> int:
-        """Next cycle to simulate: ``now + 1`` or a fast-forward jump."""
+        """Next cycle to simulate: ``now + 1`` or a fast-forward jump.
+
+        A jump skips the window ``[now + 1, horizon - 1]``.  When every
+        active SM is dormant (all sub-cores quiescent) the window matches
+        the original writeback-only fast-forward and skipped cycles carry
+        no per-cycle accounting — gap attribution happens at the next step.
+        When some active SM is merely waiting on execution ports, the
+        window consists of cycles the simulator used to step with nothing
+        to do, so each active SM reproduces those counters in closed form
+        (account_skipped_steps) and the jump stays byte-identical in stats.
+        """
         horizon = None
         for sm in active:
             nxt = sm.next_event(now)
@@ -157,9 +175,15 @@ class GPU:
             if horizon is None or nxt < horizon:
                 horizon = nxt
                 if horizon == now + 1:
-                    break
+                    return horizon
         assert horizon is not None
-        return max(horizon, now + 1)
+        if horizon <= now + 1:
+            return now + 1
+        if any(not sm.dormant() for sm in active):
+            gap = horizon - now - 1
+            for sm in active:
+                sm.account_skipped_steps(now + 1, gap)
+        return horizon
 
     # -- results -----------------------------------------------------------
 

@@ -10,10 +10,13 @@ experiment performs zero simulations).
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
 import subprocess
 import sys
 from pathlib import Path
+
+import pytest
 
 import repro.experiments.engine as eng
 from repro.experiments import fig01_partitioning
@@ -23,6 +26,7 @@ from repro.experiments.engine import (
     point_key,
 )
 from repro.experiments.export import dump_json
+from repro.obs import read_manifest, stats_digest
 from repro.workloads import app_names
 
 SRC = str(Path(__file__).resolve().parent.parent / "src")
@@ -218,6 +222,203 @@ class TestSanitizedEngine:
             assert not e3.sanitize
         finally:
             eng._engine = old
+
+
+def _tmp_leftovers(cache_dir: Path) -> list:
+    return [p for p in cache_dir.iterdir() if p.name.endswith(".tmp")]
+
+
+class TestStoreDiskRobustness:
+    def test_failed_replace_leaves_no_tmp_files(self, tmp_path, monkeypatch):
+        e = serial_engine(tmp_path)
+
+        def failing_replace(src, dst):
+            raise OSError("simulated rename failure")
+
+        monkeypatch.setattr(eng.os, "replace", failing_replace)
+        stats = e.run_point(POINT)  # the run itself must not fail
+        assert stats.cycles > 0
+        assert e.profile.disk_errors == 1
+        assert _tmp_leftovers(tmp_path) == []
+
+    def test_failed_serialize_leaves_no_tmp_files(self, tmp_path, monkeypatch):
+        e = serial_engine(tmp_path)
+        stats = e._simulate_serial(POINT)
+
+        def failing_dump(*args, **kwargs):
+            raise OSError("no space left on device")
+
+        monkeypatch.setattr(eng.json, "dump", failing_dump)
+        e._store_disk(point_key(POINT), POINT, stats)
+        assert e.profile.disk_errors == 1
+        assert _tmp_leftovers(tmp_path) == []
+
+    def test_readonly_cache_dir_leaves_no_tmp_files(self, tmp_path):
+        if hasattr(os, "geteuid") and os.geteuid() == 0:
+            pytest.skip("root bypasses directory write permissions")
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        os.chmod(cache, 0o500)
+        try:
+            e = ExperimentEngine(workers=1, cache_dir=cache)
+            stats = e.run_point(POINT)
+            assert stats.cycles > 0
+            assert e.profile.disk_errors >= 1
+            assert _tmp_leftovers(cache) == []
+        finally:
+            os.chmod(cache, 0o700)
+
+
+class TestCorruptEntryRace:
+    def test_unlink_exact_removes_the_file_it_read(self, tmp_path):
+        path = tmp_path / "entry.json"
+        path.write_text("{ corrupted")
+        with open(path, "r", encoding="utf-8") as fh:
+            ExperimentEngine._unlink_exact(path, fh)
+        assert not path.exists()
+
+    def test_unlink_exact_spares_a_replacement(self, tmp_path):
+        path = tmp_path / "entry.json"
+        path.write_text("{ corrupted")
+        with open(path, "r", encoding="utf-8") as fh:
+            incoming = tmp_path / "incoming.json"
+            incoming.write_text('{"fresh": true}')
+            os.replace(incoming, path)  # a parallel _store_disk lands
+            ExperimentEngine._unlink_exact(path, fh)
+        assert path.read_text() == '{"fresh": true}'
+
+    def test_corrupt_cleanup_never_discards_a_parallel_store(
+        self, tmp_path, monkeypatch
+    ):
+        """The _load_disk / _store_disk race on a shared cache directory.
+
+        Engine A opens a corrupted entry; while A holds it open, engine B
+        (another process) atomically replaces the path with a fresh valid
+        result.  A's corrupted-entry cleanup must remove only the file it
+        read — B's result has to survive.
+        """
+        e1 = serial_engine(tmp_path)
+        fresh = e1.run_point(POINT)
+        key = point_key(POINT)
+        path = e1.cache_path(key)
+        good = path.read_text()
+        path.write_text("{ corrupted")
+
+        real_load = json.load
+
+        def racing_load(fh, *args, **kwargs):
+            incoming = tmp_path / "incoming.json"
+            incoming.write_text(good)
+            os.replace(incoming, path)  # engine B's store lands mid-read
+            return real_load(fh, *args, **kwargs)  # raises: fh is corrupt
+
+        monkeypatch.setattr(eng.json, "load", racing_load)
+        e2 = serial_engine(tmp_path)
+        assert e2._load_disk(key) is None
+        assert e2.profile.disk_errors == 1
+        monkeypatch.setattr(eng.json, "load", real_load)
+
+        # The replacement survived the cleanup: a fresh engine disk-hits.
+        e3 = serial_engine(tmp_path)
+        assert e3.run_point(POINT) == fresh
+        assert e3.profile.disk_hits == 1
+        assert e3.profile.sims == 0
+
+
+def _stress_worker(args):
+    """One process of the shared-cache stress test (module-level: pickled)."""
+    cache_dir, fields = args
+    engine = ExperimentEngine(workers=1, cache_dir=cache_dir)
+    points = [SimPoint(*f) for f in fields]
+    out = engine.run_many(points)
+    return (
+        engine.profile.disk_errors,
+        {p.label(): stats_digest(s.to_payload()) for p, s in out.items()},
+    )
+
+
+class TestSharedCacheStress:
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="stress harness needs the fork start method",
+    )
+    def test_concurrent_engines_no_false_errors_no_lost_results(self, tmp_path):
+        """N engines race on one cache dir: same digests, zero disk errors.
+
+        Every process starts cold and simulates the same points, so their
+        stores all race on the same keys; atomic replace plus the exact-
+        unlink guard must yield no disk_errors and a valid entry per key.
+        """
+        fields = [
+            ("rod-nw", "baseline", 1, False),
+            ("tpcU-q3", "baseline", 1, False),
+            ("rod-nw", "rba", 1, False),
+        ]
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(4) as pool:
+            results = pool.map(_stress_worker, [(tmp_path, fields)] * 4)
+
+        digests = [d for _, d in results]
+        assert all(d == digests[0] for d in digests), "lost or diverged result"
+        assert [errs for errs, _ in results] == [0, 0, 0, 0]
+        assert _tmp_leftovers(tmp_path) == []
+        for f in fields:
+            entry = json.loads(
+                (tmp_path / f"{point_key(SimPoint(*f))}.json").read_text()
+            )
+            assert entry["schema"] == eng.CACHE_SCHEMA
+
+
+#: Parent pid for the crash-injection test: the patched worker entry only
+#: raises in pool children (set by the test; module-level so fork inherits).
+_CRASH_PARENT_PID = -1
+_real_simulate_point = eng._simulate_point
+
+
+def _crashing_simulate_point(point_fields, **kwargs):
+    if os.getpid() != _CRASH_PARENT_PID and point_fields[0] == "rod-nw":
+        raise RuntimeError("simulated worker crash")
+    return _real_simulate_point(point_fields, **kwargs)
+
+
+class TestWorkerCrashRetry:
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="crash injection relies on fork inheriting the patch",
+    )
+    def test_crashing_point_is_retried_and_recorded(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(
+            sys.modules[__name__], "_CRASH_PARENT_PID", os.getpid()
+        )
+        monkeypatch.setattr(eng, "_simulate_point", _crashing_simulate_point)
+        manifest = tmp_path / "manifest.jsonl"
+        e = ExperimentEngine(
+            workers=2,
+            cache_dir=tmp_path / "cache",
+            progress=True,
+            manifest_path=manifest,
+        )
+        other = SimPoint("tpcU-q3", "baseline")
+        out = e.run_many([POINT, other])
+
+        # The crashing point was retried once, serially, in the parent.
+        assert e.profile.retries == 1
+        reference = serial_engine().run_point(POINT)
+        assert out[POINT] == reference
+        assert dump_json(out[POINT]) == dump_json(reference)
+        assert out[other].cycles > 0
+
+        # The manifest records how each point was actually resolved.
+        sources = {r["point"]: r["source"] for r in read_manifest(manifest)}
+        assert sources[POINT.label()] == "retry"
+        assert sources[other.label()] == "sim"
+
+        # The progress line survived the crash and covered every point.
+        err = capsys.readouterr().err
+        assert "2/2 points" in err
+        assert "retries" in err
 
 
 class TestWarmCacheFigure:

@@ -58,6 +58,25 @@ class TestRun:
         with pytest.raises(DeadlockError):
             simulate_with_limit(k, max_cycles=10)
 
+    def test_wedged_sm_raises_deadlock_not_hang(self):
+        # An SM whose warps all block on a writeback that never arrives
+        # makes next_event() return None with CTAs still resident; the
+        # cycle loop must diagnose the deadlock instead of spinning or
+        # fast-forwarding past it.
+        from repro.core.warp import WarpState
+
+        gpu = GPU(volta_v100(), num_sms=1)
+        sm = gpu.sms[0]
+        k = simple_kernel()
+        assert sm.try_allocate_cta(k, k.ctas[0], cta_id=0, now=0)
+        for sc in sm.subcores:
+            for w in sc.warps:
+                w.pending_writes.add(99)  # writeback never scheduled
+                w.set_state(WarpState.BLOCKED)
+        assert sm.next_event(0) is None
+        with pytest.raises(DeadlockError, match="no.*pending events"):
+            gpu._advance([sm], 0, "wedged")
+
     def test_oversized_cta_rejected(self):
         k = make_kernel("k", [fma_warp(4) for _ in range(65)])
         with pytest.raises(ValueError, match="never fit"):

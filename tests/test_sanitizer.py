@@ -120,6 +120,51 @@ def test_stale_scheduler_pointer_raises(sanitized_config):
     assert exc.actual == 999
 
 
+def _wedge_all_warps(sm):
+    """Put every resident warp into a state no future event can wake.
+
+    Each warp gets a phantom pending writeback that is never scheduled on
+    the SM's writeback heap — the exact shape of a scoreboard deadlock
+    (e.g. a lost memory completion event).
+    """
+    from repro.core.warp import WarpState
+
+    for sc in sm.subcores:
+        for w in sc.warps:
+            w.pending_writes.add(99)
+            w.set_state(WarpState.BLOCKED)
+
+
+def test_wedged_sm_raises_liveness(sanitized_config):
+    # Resident CTAs must always imply a next event: construct the hung
+    # state (all warps blocked, writeback heap empty) and assert both the
+    # next_event symptom and the sanitizer diagnosis.
+    gpu = GPU(config=sanitized_config)
+    sm = gpu.sms[0]
+    k = simple_kernel()
+    assert sm.try_allocate_cta(k, k.ctas[0], cta_id=0, now=0)
+    _wedge_all_warps(sm)
+    assert not sm._wb_heap
+    assert sm.next_event(0) is None  # the idle-hang edge itself
+    with pytest.raises(InvariantViolation) as exc_info:
+        sm.sanitizer.check_sm(sm, now=7)
+    exc = exc_info.value
+    assert exc.invariant == "liveness"
+    assert exc.counter == "next_event"
+    assert exc.cycle == 7
+    assert exc.sm_id == 0
+
+
+def test_live_sm_passes_liveness(sanitized_config):
+    # The same freshly-filled SM *with* runnable warps must not trip it.
+    gpu = GPU(config=sanitized_config)
+    sm = gpu.sms[0]
+    k = simple_kernel()
+    assert sm.try_allocate_cta(k, k.ctas[0], cta_id=0, now=0)
+    assert sm.next_event(0) is not None
+    sm.sanitizer.check_sm(sm, now=0)  # must not raise
+
+
 # -- fault injection: end-of-kernel drain checks -----------------------------
 
 def test_lost_warp_raises_warp_conservation_at_end(sanitized_config):
