@@ -12,6 +12,10 @@ Usage::
     python -m repro.bench --repeats 3           # timing repeats per point
     python -m repro.bench --no-stages           # skip the stall breakdown
     python -m repro.bench --validate FILE...    # schema-check reports only
+    python -m repro.bench --update-baseline     # regenerate BENCH_baseline.json
+                                                #   + BENCH_baseline_quick.json
+                                                #   (schema-validated, version-
+                                                #   stamped — never hand-edit)
 """
 
 from __future__ import annotations
@@ -39,6 +43,7 @@ def _parse(args: List[str]) -> dict:
         "repeats": 2,
         "stages": None,
         "validate": [],
+        "update_baseline": False,
         "help": False,
     }
     i = 0
@@ -54,6 +59,8 @@ def _parse(args: List[str]) -> dict:
             opts["stages"] = False
         elif arg == "--stages":
             opts["stages"] = True
+        elif arg == "--update-baseline":
+            opts["update_baseline"] = True
         elif arg == "--validate":
             opts["validate"] = args[i + 1 :]
             if not opts["validate"]:
@@ -108,6 +115,37 @@ def _validate_files(paths: List[str]) -> int:
     return status
 
 
+#: Committed baseline reports, regenerated only via ``--update-baseline``
+#: so they always pass the schema validator and carry the repro version
+#: they were measured with.
+BASELINE_FILES = {
+    "full": "BENCH_baseline.json",
+    "quick": "BENCH_baseline_quick.json",
+}
+
+
+def _update_baselines(repeats: int, stages: Optional[bool]) -> int:
+    for suite, name in BASELINE_FILES.items():
+        report = run_suite(
+            suite=suite,
+            repeats=repeats,
+            stages=stages,
+            progress=sys.stderr.isatty(),
+        )
+        problems = validate_report(report)
+        if problems:  # pragma: no cover - a harness bug, not an input error
+            for problem in problems:
+                print(f"internal: {name} invalid: {problem}", file=sys.stderr)
+            return 1
+        out = Path(name)
+        out.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(summary(report))
+        print(f"baseline written to {out} (sim {report['sim_version']})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     try:
@@ -120,6 +158,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if opts["validate"]:
         return _validate_files(opts["validate"])
+    if opts["update_baseline"]:
+        if opts["output"] is not None or opts["baseline"] is not None:
+            print(
+                "--update-baseline regenerates the committed baseline files; "
+                "it does not combine with --output or --baseline",
+                file=sys.stderr,
+            )
+            return 2
+        return _update_baselines(opts["repeats"], opts["stages"])
 
     # Read and validate the baseline before spending minutes on the
     # suite: a typo'd path should fail in milliseconds.

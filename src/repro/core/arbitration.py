@@ -9,6 +9,13 @@ banks (Sec. IV-A).
 To model the score-update latency study (Sec. VI-B4) the unit can expose a
 *stale* snapshot of the queue lengths, refreshed only every ``latency``
 cycles.
+
+Each per-bank FIFO is a preallocated Python list with a head cursor
+(``_heads``): enqueue is ``list.append``, dequeue advances the cursor, and
+the list is recycled (``clear`` + cursor reset) the moment it drains — the
+steady state appends into a list that already has capacity, avoiding
+per-request allocation on the hot path.  Queue length is always
+``len(queue) - head``.
 """
 
 from __future__ import annotations
@@ -33,7 +40,9 @@ class ArbitrationUnit:
         self.num_banks = num_banks
         self.read_ports = read_ports
         self.score_latency = score_latency
-        self.queues: List[Deque[CollectorUnit]] = [deque() for _ in range(num_banks)]
+        self.queues: List[List[CollectorUnit]] = [[] for _ in range(num_banks)]
+        #: Head cursor per bank queue: queues[b][_heads[b]:] are waiting.
+        self._heads: List[int] = [0] * num_banks
         # Change-history of queue lengths for delayed (pipelined) RBA
         # scoring: entries are (cycle, lengths-at-end-of-cycle); only kept
         # when score_latency > 0.
@@ -52,6 +61,21 @@ class ArbitrationUnit:
         self.tracer = tracer
         self._sm_id = sm_id
         self._subcore_id = subcore_id
+
+    def begin_run(self) -> None:
+        """Reset transient per-launch state (queues drain with the kernel).
+
+        Queues are empty whenever no kernel is in flight; this clears the
+        delayed-scoring history so a second launch sees the same all-zero
+        snapshot a fresh unit starts with.  Cumulative statistics persist.
+        """
+        for q in self.queues:
+            q.clear()
+        for i in range(self.num_banks):
+            self._heads[i] = 0
+        self.pending = 0
+        self._history.clear()
+        self._history.append((-1, [0] * self.num_banks))
 
     # -- enqueue ---------------------------------------------------------------
 
@@ -74,24 +98,48 @@ class ArbitrationUnit:
             return 0
         grants = 0
         conflicted = False
+        heads = self._heads
         if self.read_ports == 1:
-            # Volta's single read port per bank: branch-free inner loop.
-            for q in self.queues:
-                if q:
-                    q.popleft().operand_granted()
+            # Volta's single read port per bank.  CollectorUnit's
+            # operand_granted is inlined (guard included): this loop runs
+            # for every bank of every sub-core on every collect cycle.
+            for bank, q in enumerate(self.queues):
+                head = heads[bank]
+                qlen = len(q)
+                if head < qlen:
+                    cu = q[head]
+                    po = cu.pending_operands
+                    if po <= 0:
+                        raise RuntimeError(
+                            f"CU {cu.cu_id} grant with no pending operands"
+                        )
+                    cu.pending_operands = po - 1
                     grants += 1
-                    if q:
+                    head += 1
+                    if head < qlen:
                         conflicted = True
+                        heads[bank] = head
+                    else:
+                        # Drained: recycle the list, keeping its capacity.
+                        q.clear()
+                        heads[bank] = 0
         else:
-            for q in self.queues:
-                for _ in range(self.read_ports):
-                    if not q:
-                        break
-                    cu = q.popleft()
-                    cu.operand_granted()
+            for bank, q in enumerate(self.queues):
+                head = heads[bank]
+                qlen = len(q)
+                end = head + self.read_ports
+                if end > qlen:
+                    end = qlen
+                while head < end:
+                    q[head].operand_granted()
                     grants += 1
-                if q:
+                    head += 1
+                if head < qlen:
                     conflicted = True
+                    heads[bank] = head
+                else:
+                    q.clear()
+                    heads[bank] = 0
         self.pending -= grants
         self.total_grants += grants
         if conflicted:
@@ -108,7 +156,7 @@ class ArbitrationUnit:
 
     def _record(self, now: int) -> None:
         """Log end-of-cycle queue lengths for the delayed scoring path."""
-        lengths = [len(q) for q in self.queues]
+        lengths = [len(q) - h for q, h in zip(self.queues, self._heads)]
         hist = self._history
         if hist[-1][0] == now:
             hist[-1] = (now, lengths)
@@ -132,7 +180,7 @@ class ArbitrationUnit:
         near-zero figure (see EXPERIMENTS.md).
         """
         if self.score_latency == 0:
-            return [len(q) for q in self.queues]
+            return [len(q) - h for q, h in zip(self.queues, self._heads)]
         target = now - self.score_latency
         hist = self._history
         # Drop entries that can never be needed again (strictly older than
@@ -148,13 +196,13 @@ class ArbitrationUnit:
 
     def bank_idle(self, bank: int) -> bool:
         """True when a bank's queue is empty (a bank-stealing opportunity)."""
-        return not self.queues[bank]
+        return len(self.queues[bank]) == self._heads[bank]
 
     # -- sanitizer hooks -----------------------------------------------------
 
     def queued_requests(self) -> int:
         """Ground truth for ``pending``: summed per-bank queue lengths."""
-        return sum(len(q) for q in self.queues)
+        return sum(len(q) - h for q, h in zip(self.queues, self._heads))
 
     def validate(self) -> list:
         """Queue-accounting invariants (consumed by the sanitizer)."""
@@ -173,6 +221,20 @@ class ArbitrationUnit:
                     "actual": self.pending,
                 }
             )
+        for bank, (q, h) in enumerate(zip(self.queues, self._heads)):
+            if not 0 <= h <= len(q) or (h == len(q) and h != 0):
+                errors.append(
+                    {
+                        "invariant": "arbitration-accounting",
+                        "message": (
+                            f"bank {bank} head cursor inconsistent with its "
+                            "queue (drained queues must be recycled)"
+                        ),
+                        "counter": "arbitration._heads",
+                        "expected": f"0 <= head < {len(q)} or head == len == 0",
+                        "actual": h,
+                    }
+                )
         if self.pending < 0 or self.total_grants < 0 or self.conflict_cycles < 0:
             errors.append(
                 {

@@ -13,18 +13,29 @@ from typing import Optional, TYPE_CHECKING
 from ..isa import Instruction
 
 if TYPE_CHECKING:  # pragma: no cover
+    from .execution import Pipeline
     from .warp import Warp
 
 
 class CollectorUnit:
     """One collector unit of a sub-core's operand collector."""
 
-    __slots__ = ("cu_id", "warp", "instruction", "pending_operands", "allocated_cycle")
+    __slots__ = (
+        "cu_id",
+        "warp",
+        "instruction",
+        "pipe",
+        "pending_operands",
+        "allocated_cycle",
+    )
 
     def __init__(self, cu_id: int):
         self.cu_id = cu_id
         self.warp: Optional["Warp"] = None
         self.instruction: Optional[Instruction] = None
+        #: Execution pipeline resolved at allocation time (from the warp's
+        #: compiled code), so dispatch never re-derives it from the opcode.
+        self.pipe: Optional["Pipeline"] = None
         self.pending_operands = 0
         self.allocated_cycle = -1
 
@@ -37,11 +48,18 @@ class CollectorUnit:
         """All operands collected; instruction awaiting dispatch."""
         return self.instruction is not None and self.pending_operands == 0
 
-    def allocate(self, warp: "Warp", inst: Instruction, cycle: int) -> None:
+    def allocate(
+        self,
+        warp: "Warp",
+        inst: Instruction,
+        cycle: int,
+        pipe: Optional["Pipeline"] = None,
+    ) -> None:
         if not self.free:
             raise RuntimeError(f"CU {self.cu_id} double allocation")
         self.warp = warp
         self.instruction = inst
+        self.pipe = pipe
         self.pending_operands = inst.num_src
         self.allocated_cycle = cycle
 
@@ -53,6 +71,7 @@ class CollectorUnit:
     def release(self) -> None:
         self.warp = None
         self.instruction = None
+        self.pipe = None
         self.pending_operands = 0
         self.allocated_cycle = -1
 

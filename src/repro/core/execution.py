@@ -36,7 +36,7 @@ class Pipeline:
     the way its four physical sub-units would.
     """
 
-    __slots__ = ("unit", "lane_interval", "port_free", "stats")
+    __slots__ = ("unit", "lane_interval", "port_free", "single", "stats")
 
     def __init__(self, unit: FuncUnit, lanes: int):
         self.unit = unit
@@ -45,11 +45,26 @@ class Pipeline:
         self.lane_interval = (32 + lanes - 1) // lanes if lanes > 0 else 64
         ports = max(1, lanes // 32)
         self.port_free = [0] * ports
+        #: Precomputed single-port flag: the issue/dispatch hot path asks
+        #: "is the port free" once per candidate per cycle, and every
+        #: partitioned design has exactly one port per pipeline.
+        self.single = ports == 1
         self.stats = PipelineStats()
+
+    def begin_run(self) -> None:
+        """Reset issue-port availability at the start of a kernel run.
+
+        A port booked past the end of the previous kernel (intervals run
+        up to 64 cycles) must not delay the first instructions of the
+        next one; cumulative ``stats`` are left untouched.
+        """
+        ports = self.port_free
+        for i in range(len(ports)):
+            ports[i] = 0
 
     def can_accept(self, now: int) -> bool:
         ports = self.port_free
-        free = ports[0] if len(ports) == 1 else min(ports)
+        free = ports[0] if self.single else min(ports)
         return free <= now
 
     def issue(self, inst: Instruction, now: int) -> int:
@@ -57,7 +72,7 @@ class Pipeline:
         info = inst.info
         interval = max(info.initiation_interval, self.lane_interval)
         ports = self.port_free
-        if len(ports) == 1:
+        if self.single:
             ports[0] = now + interval
         else:
             idx = min(range(len(ports)), key=ports.__getitem__)
@@ -83,6 +98,10 @@ class ExecutionUnits:
         self.pipelines: Dict[FuncUnit, Pipeline] = {
             unit: Pipeline(unit, n) for unit, n in lanes.items()
         }
+
+    def begin_run(self) -> None:
+        for pipe in self.pipelines.values():
+            pipe.begin_run()
 
     def pipeline_for(self, inst: Instruction) -> Pipeline:
         return self.pipelines[inst.info.unit]

@@ -79,6 +79,8 @@ class StreamingMultiprocessor:
         #: remainder up to ``SimStats.cycles`` is SM-idle time, added as
         #: ``idle`` at stats collection.
         self.stall_attribution = config.stall_attribution
+        #: Cached config flag: read once per stepped cycle.
+        self._work_stealing = config.work_stealing
         self._attr_cycles = 0
         self._last_stepped: Optional[int] = None
 
@@ -92,6 +94,22 @@ class StreamingMultiprocessor:
         )
         self.warp_finish_cycles: List[int] = []
         self.cta_latencies: List[int] = []
+
+    def begin_run(self) -> None:
+        """Reset per-launch transient state so back-to-back ``GPU.run``
+        calls behave exactly like fresh GPUs (statistics stay cumulative).
+
+        Covers warp-id numbering (bank swizzles key on warp ids), the
+        assignment policy's rotation counter, sub-core transients, and the
+        SM's L1-side memory state.  The writeback heap is empty whenever no
+        kernel is in flight (EXIT waits for scoreboard drain; migrations
+        resolve before retirement), so it needs no clearing.
+        """
+        self._warp_id_counter = 0
+        self.assignment.reset()
+        self.memory.begin_run()
+        for sc in self.subcores:
+            sc.begin_run()
 
     # -- CTA admission --------------------------------------------------------
 
@@ -246,9 +264,7 @@ class StreamingMultiprocessor:
                 # Inlined empty-ready issue(): one stalled scheduler cycle.
                 sc.issue_stall_no_ready += 1
                 if sc.stall_cycles is not None:
-                    sc._attribute_stall(
-                        sc._stall_reason(), sc.config.issue_width, now
-                    )
+                    sc._attribute_stall(sc._stall_reason(), sc._issue_width, now)
         for sc in subcores:
             # With no queued reads grant_cycle is a no-op (the delayed-RBA
             # history dedupes unchanged all-zero snapshots), so the call is
@@ -257,10 +273,10 @@ class StreamingMultiprocessor:
             if sc.arbitration.pending:
                 got = sc.arbitration.grant_cycle(now)
                 if got:
-                    sc.register_file.note_reads(got)
+                    sc.register_file.reads += got
                     grants += got
 
-        if self.config.work_stealing:
+        if self._work_stealing:
             self._try_steal(now)
 
         if self.rf_read_timeline is not None and grants:
@@ -330,7 +346,7 @@ class StreamingMultiprocessor:
         if not self.resident_ctas:
             return None
         horizon: Optional[int] = None
-        if self.config.work_stealing:
+        if self._work_stealing:
             # _try_steal runs every stepped cycle and can migrate warps
             # while none is READY (donors may be BLOCKED), so only the
             # all-quiescent writeback fast-forward is safe to keep.

@@ -23,10 +23,11 @@ boundary), so a conflict-free instruction occupies its CU for one cycle.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Callable, Collection, Dict, List, Optional, Set, TYPE_CHECKING
 
 from ..config import GPUConfig
-from ..isa import Instruction
+from ..isa import FuncUnit, Instruction
 from ..obs.stall import (
     BANK_CONFLICT,
     BARRIER,
@@ -38,6 +39,7 @@ from ..obs.stall import (
     SCOREBOARD,
     empty_buckets,
 )
+from ..trace.compiled import F_BARRIER, F_EXIT
 from .arbitration import ArbitrationUnit
 from .collector_unit import CollectorUnit
 from .execution import ExecutionUnits, Pipeline
@@ -72,9 +74,18 @@ class SubCore:
             CollectorUnit(i) for i in range(config.collector_units_per_subcore)
         ]
         self.execution = ExecutionUnits(config)
+        #: Pipelines as a flat list indexed by the compiled code's unit
+        #: ids (FuncUnit definition order — see repro.trace.compiled
+        #: UNIT_INDEX), so the issue path resolves an instruction's
+        #: pipeline with one list index instead of an enum-keyed dict get.
+        self._pipes: List[Pipeline] = [
+            self.execution.pipelines[unit] for unit in FuncUnit
+        ]
 
         self.max_warps = config.max_warps_per_subcore
         self._issue_width = config.issue_width
+        #: Cached scheduler-class flag (read once per issue cycle).
+        self._steals_banks = self.scheduler.steals_banks
         self.max_registers = config.registers_per_sm // config.subcores_per_sm
         self.warps: List[Warp] = []
         #: Warps currently in the READY state (maintained by Warp.set_state).
@@ -123,6 +134,20 @@ class SubCore:
             self.ready[warp] = None
         self.registers_used += regs_per_warp
 
+    def begin_run(self) -> None:
+        """Reset per-launch transient state at the start of a kernel run.
+
+        Warp ages restart at zero (they are the GTO/LRR/two-level tie-break
+        and group key, so a second launch must age its warps exactly like a
+        fresh GPU), execution ports booked past the previous kernel's end
+        are freed, and scheduler/arbitration per-launch state clears.
+        Cumulative statistics are untouched.
+        """
+        self._age_counter = 0
+        self.execution.begin_run()
+        self.scheduler.begin_run()
+        self.arbitration.begin_run()
+
     def remove_warp(self, warp: Warp, regs_per_warp: int) -> None:
         self.warps.remove(warp)
         self.ready.pop(warp, None)
@@ -133,29 +158,69 @@ class SubCore:
     # -- per-cycle phases ------------------------------------------------------
 
     def dispatch_ready_cus(self, now: int) -> None:
-        """Phase 1: send fully-collected instructions to execution."""
-        if not self._busy_cus:
+        """Phase 1: send fully-collected instructions to execution.
+
+        One of the two busiest loops in the simulator, so the delegate
+        calls are flattened: ``Pipeline.issue``, the writeback scheduling
+        of ``_execute_on`` and ``CollectorUnit.release`` are inlined, and
+        the scan stops after the last occupied CU (``remaining``).
+        """
+        remaining = self._busy_cus
+        if not remaining:
             return
-        pipelines = self.execution.pipelines
+        sm = self.sm
         for cu in self.collector_units:
             inst = cu.instruction
-            if inst is None or cu.pending_operands:
+            if inst is None:
                 continue
-            pipe = pipelines[inst.info.unit]
-            ports = pipe.port_free
-            if (ports[0] if len(ports) == 1 else min(ports)) > now:
-                continue
-            warp = cu.warp
-            assert warp is not None
-            if self.tracer is not None:
-                start, dur = cu.occupancy_span(now)
-                self.tracer.cu_span(
-                    start, self.sm.sm_id, self.subcore_id, cu.cu_id,
-                    warp.warp_id, inst.opcode.name, dur,
-                )
-            self._execute_on(pipe, warp, inst, now)
-            cu.release()
-            self._busy_cus -= 1
+            if not cu.pending_operands:
+                # The pipeline was resolved at allocation; bare allocations
+                # (unit tests driving CUs directly) fall back to the opcode.
+                pipe = cu.pipe
+                if pipe is None:
+                    pipe = self.execution.pipelines[inst.info.unit]
+                ports = pipe.port_free
+                if (ports[0] if pipe.single else min(ports)) <= now:
+                    warp = cu.warp
+                    assert warp is not None
+                    if self.tracer is not None:
+                        start, dur = cu.occupancy_span(now)
+                        self.tracer.cu_span(
+                            start, sm.sm_id, self.subcore_id, cu.cu_id,
+                            warp.warp_id, inst.opcode.name, dur,
+                        )
+                    # Inlined Pipeline.issue ...
+                    info = inst.info
+                    interval = info.initiation_interval
+                    if pipe.lane_interval > interval:
+                        interval = pipe.lane_interval
+                    if pipe.single:
+                        ports[0] = now + interval
+                    else:
+                        idx = min(range(len(ports)), key=ports.__getitem__)
+                        ports[idx] = now + interval
+                    pstats = pipe.stats
+                    pstats.issued += 1
+                    pstats.busy_cycles += interval
+                    # ... and _execute_on's completion/writeback tail ...
+                    t_done = now + interval + info.latency
+                    if info.is_memory:
+                        t_done = sm.memory_access(inst, t_done, warp)
+                    dst = inst.dst_reg
+                    if dst is not None:
+                        self.register_file.writes += 1
+                        # Inlined SM.schedule_writeback.
+                        heappush(sm._wb_heap, (t_done, next(sm._seq), warp, dst))
+                    # ... and CollectorUnit.release.
+                    cu.warp = None
+                    cu.instruction = None
+                    cu.pipe = None
+                    cu.pending_operands = 0
+                    cu.allocated_cycle = -1
+                    self._busy_cus -= 1
+            remaining -= 1
+            if not remaining:
+                return
 
     def collect_operands(self, now: int) -> int:
         """Phase 2: per-bank arbitration grants."""
@@ -167,12 +232,28 @@ class SubCore:
     def issue(self, now: int) -> int:
         """Phase 3: warp scheduler issue; returns instructions issued."""
         attr = self.stall_cycles
-        if not self.ready:
+        ready = self.ready
+        if not ready:
             self.issue_stall_no_ready += 1
             if attr is not None:
-                self._attribute_stall(
-                    self._stall_reason(), self.config.issue_width, now
-                )
+                self._attribute_stall(self._stall_reason(), self._issue_width, now)
+            return 0
+        if self._issue_width == 1 and not self._steals_banks:
+            # Single-slot fast path (every partitioned design): one select,
+            # one issue attempt, the same stall accounting the general loop
+            # below produces for width 1.
+            warp = self.scheduler.select(ready, now)
+            if warp is not None and self._issue_warp(warp, now):
+                if attr is not None:
+                    attr[ISSUED] += 1
+                return 1
+            if warp is None:
+                if attr is not None:
+                    self._attribute_stall(NO_READY_WARP, 1, now)
+            else:
+                self.issue_stall_no_cu += 1
+                if attr is not None:
+                    self._attribute_stall(self._structural_stall_reason(now), 1, now)
             return 0
         issued = 0
         # Lazily allocated: membership-only, never iterated.  With
@@ -215,7 +296,7 @@ class SubCore:
             slots_issued += 1
         if attr is not None:
             attr[ISSUED] += slots_issued
-            leftover = self.config.issue_width - slots_issued
+            leftover = self._issue_width - slots_issued
             if leftover:
                 self._attribute_stall(
                     stall_reason if stall_reason is not None else self._stall_reason(),
@@ -225,14 +306,14 @@ class SubCore:
 
         # Bank-stealing pass: fill a still-free CU with a warp whose
         # operands sit in idle banks (Jing et al. [36]).
-        if self.scheduler.steals_banks:
+        if self._steals_banks:
             free_cu = self._free_cu()
             if free_cu is not None:
                 skip: Collection[Warp] = issued_warps or ()
                 candidates = [
                     w
                     for w in self.ready
-                    if w not in skip and w.next_instruction.reads_rf
+                    if w not in skip and w.code.reads_rf[w.pc]
                 ]
                 victim = (
                     self.scheduler.steal_candidate(candidates, now)
@@ -318,31 +399,80 @@ class SubCore:
         return None
 
     def _issue_warp(self, warp: Warp, now: int) -> bool:
+        # The issue fast path: _free_cu, CollectorUnit.allocate, the bank
+        # enqueue of _allocate_cu and the whole of _post_issue are inlined
+        # (those helpers remain for the bank-stealing pass).
+        code = warp.code
+        pc = warp.pc
         inst = warp.next_instruction
-        if inst.reads_rf:
-            cu = self._free_cu()
-            if cu is None:
+        if code.reads_rf[pc]:
+            for cu in self.collector_units:
+                if cu.instruction is None:
+                    break
+            else:
                 return False
-            self._allocate_cu(cu, warp, inst, now)
+            cu.warp = warp
+            cu.instruction = inst
+            cu.pipe = self._pipes[code.unit_ids[pc]]
+            cu.pending_operands = inst.num_src
+            cu.allocated_cycle = now
+            self._busy_cus += 1
+            arbitration = self.arbitration
+            queues = arbitration.queues
+            for bank in warp._row[pc]:
+                queues[bank].append(cu)
+            arbitration.pending += inst.num_src
         else:
             # Direct path: no operands to collect.
-            pipe = self.execution.pipelines[inst.info.unit]
+            pipe = self._pipes[code.unit_ids[pc]]
             ports = pipe.port_free
-            if (ports[0] if len(ports) == 1 else min(ports)) > now:
+            if (ports[0] if pipe.single else min(ports)) > now:
                 return False
             self._execute_on(pipe, warp, inst, now)
-        self._post_issue(warp, inst, now)
+        # Inlined _post_issue (flags read before note_issue advances pc).
+        tracer = self.tracer
+        flags = code.flags[pc]
+        if tracer is not None:
+            info = self.scheduler.selection_info(warp)
+            tracer.warp_issue(
+                now, self.sm.sm_id, self.subcore_id, warp.warp_id,
+                inst.opcode.name, pc, info["policy"], info["greedy"],
+            )
+        warp.note_issue(inst)
+        # WarpScheduler.note_issue is the same pointer update on every
+        # policy — write it directly.
+        self.scheduler.last_issued = warp
+        self.instructions_issued += 1
+        self.sm.total_instructions += 1
+        if flags:
+            if flags & F_BARRIER:
+                if tracer is not None:
+                    tracer.warp_barrier(
+                        now, self.sm.sm_id, self.subcore_id, warp.warp_id
+                    )
+                self.sm.warp_at_barrier(warp)
+            elif flags & F_EXIT:
+                if tracer is not None:
+                    tracer.warp_exit(
+                        now, self.sm.sm_id, self.subcore_id, warp.warp_id
+                    )
+                self.sm.warp_exited(warp, now)
         return True
 
     def _allocate_cu(self, cu: CollectorUnit, warp: Warp, inst: Instruction, now: int) -> None:
-        cu.allocate(warp, inst, now)
+        cu.allocate(warp, inst, now, self._pipes[warp.code.unit_ids[warp.pc]])
         self._busy_cus += 1
         arbitration = self.arbitration
+        queues = arbitration.queues
         for bank in warp.src_banks_cached():
-            arbitration.request(cu, bank)
+            queues[bank].append(cu)
+        arbitration.pending += inst.num_src
 
     def _post_issue(self, warp: Warp, inst: Instruction, now: int) -> None:
         tracer = self.tracer
+        # Compiled per-instruction flags, read before note_issue advances
+        # the trace cursor.
+        flags = warp.code.flags[warp.pc]
         if tracer is not None:
             # Selection info must be read before note_issue updates the
             # scheduler's greedy pointer.
@@ -355,15 +485,19 @@ class SubCore:
         self.scheduler.note_issue(warp)
         self.instructions_issued += 1
         self.sm.total_instructions += 1
-        info = inst.info
-        if info.is_barrier:
-            if tracer is not None:
-                tracer.warp_barrier(now, self.sm.sm_id, self.subcore_id, warp.warp_id)
-            self.sm.warp_at_barrier(warp)
-        elif info.is_exit:
-            if tracer is not None:
-                tracer.warp_exit(now, self.sm.sm_id, self.subcore_id, warp.warp_id)
-            self.sm.warp_exited(warp, now)
+        if flags:
+            if flags & F_BARRIER:
+                if tracer is not None:
+                    tracer.warp_barrier(
+                        now, self.sm.sm_id, self.subcore_id, warp.warp_id
+                    )
+                self.sm.warp_at_barrier(warp)
+            elif flags & F_EXIT:
+                if tracer is not None:
+                    tracer.warp_exit(
+                        now, self.sm.sm_id, self.subcore_id, warp.warp_id
+                    )
+                self.sm.warp_exited(warp, now)
 
     def _execute(self, warp: Warp, inst: Instruction, now: int) -> None:
         """Dispatch to the execution pipeline and schedule the writeback."""
@@ -529,7 +663,10 @@ class SubCore:
                     # A pending operand without a queued bank read would be
                     # an invariant break; never fast-forward past it.
                     return now + 1
-                free = min(pipelines[inst.info.unit].port_free)
+                pipe = cu.pipe
+                if pipe is None:
+                    pipe = pipelines[inst.info.unit]
+                free = min(pipe.port_free)
                 if free <= now + 1:
                     return now + 1
                 if horizon is None or free < horizon:

@@ -5,14 +5,22 @@ state the sub-core needs: the trace cursor, the scoreboard of pending
 register writes, and the scheduling state (running / blocked on a hazard /
 waiting at a barrier / finished).  ``age`` is the warp's dispatch order on
 its scheduler — the GTO tie-break key.
+
+The scoreboard is an integer bitmask (bit *r* set ⇔ register *r* has an
+outstanding writeback), and hazard checks are a single AND against the
+per-instruction hazard masks of the warp's compiled code
+(:class:`~repro.trace.compiled.CompiledWarp`, attached at construction).
+:attr:`Warp.pending_writes` remains the set-like façade of the scoreboard
+for tests and debugging.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, Optional, Set, Tuple, TYPE_CHECKING
+from typing import Dict, Iterator, Optional, Tuple, TYPE_CHECKING
 
 from ..isa import Instruction
+from ..trace.compiled import compile_warp_trace
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..regalloc import BankMapper
@@ -32,6 +40,52 @@ class WarpState(enum.Enum):
 RUNNABLE_STATES = frozenset({WarpState.READY, WarpState.BLOCKED, WarpState.MIGRATING})
 
 
+class _ScoreboardView:
+    """Set-like view over a warp's scoreboard bitmask.
+
+    Mutations write through to the bitmask with plain-``set`` semantics
+    (no state refresh — callers transition the warp explicitly, as the
+    deadlock tests do), so code that seeds hazards via
+    ``warp.pending_writes.add(r)`` keeps working against the integer
+    scoreboard.
+    """
+
+    __slots__ = ("_warp",)
+
+    def __init__(self, warp: "Warp"):
+        self._warp = warp
+
+    def __contains__(self, reg: object) -> bool:
+        return isinstance(reg, int) and bool((self._warp._pending >> reg) & 1)
+
+    def __bool__(self) -> bool:
+        return self._warp._pending != 0
+
+    def __len__(self) -> int:
+        return bin(self._warp._pending).count("1")
+
+    def __iter__(self) -> Iterator[int]:
+        pending = self._warp._pending
+        reg = 0
+        while pending:
+            if pending & 1:
+                yield reg
+            pending >>= 1
+            reg += 1
+
+    def add(self, reg: int) -> None:
+        self._warp._pending |= 1 << reg
+
+    def discard(self, reg: int) -> None:
+        self._warp._pending &= ~(1 << reg)
+
+    def clear(self) -> None:
+        self._warp._pending = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{{{', '.join(str(r) for r in self)}}}"
+
+
 class Warp:
     """One warp resident on a sub-core."""
 
@@ -39,20 +93,17 @@ class Warp:
         "warp_id",
         "cta",
         "trace",
+        "code",
         "subcore_id",
         "age",
         "pc",
         "state",
-        "pending_writes",
+        "_pending",
         "issued_instructions",
         "finish_cycle",
         "ready_pool",
         "next_instruction",
-        "_insts",
-        "_bank_mapper",
-        "_num_banks",
-        "_bank_pc",
-        "_bank_cache",
+        "_row",
     )
 
     def __init__(
@@ -66,12 +117,15 @@ class Warp:
         self.warp_id = warp_id
         self.cta = cta
         self.trace = trace
+        #: The trace's compiled form (shared across warps on the same trace).
+        self.code = compile_warp_trace(trace)
         self.subcore_id = subcore_id
         self.age = age
         self.pc = 0
         self.state = WarpState.READY
-        #: Destination registers with an outstanding writeback.
-        self.pending_writes: Set[int] = set()
+        #: Scoreboard bitmask: bit r set ⇔ register r has an outstanding
+        #: writeback.
+        self._pending = 0
         self.issued_instructions = 0
         self.finish_cycle: Optional[int] = None
         #: The owning sub-core's ready pool (kept in sync by set_state).
@@ -81,15 +135,12 @@ class Warp:
         #: the issue path never re-indexes the trace.  After EXIT issues the
         #: cursor runs off the trace and this keeps pointing at EXIT — a
         #: FINISHED warp's next_instruction is never consulted.
-        self._insts = trace.instructions
-        self.next_instruction: Instruction = self._insts[0]
-        # Source-bank layout memo for the instruction at ``pc`` (the bank
-        # view is attached by SubCore.add_warp; identical across sub-cores
-        # of a config, so the memo survives migration).
-        self._bank_mapper: Optional["BankMapper"] = None
-        self._num_banks = 0
-        self._bank_pc = -1
-        self._bank_cache: Tuple[int, ...] = ()
+        self.next_instruction: Instruction = self.code.insts[0]
+        #: Pre-resolved source-bank row: ``_row[pc]`` is the bank tuple of
+        #: the instruction at ``pc`` (attached by SubCore.add_warp;
+        #: identical across sub-cores of a config, so it survives
+        #: migration).
+        self._row: Optional[Tuple[Tuple[int, ...], ...]] = None
 
     # -- trace cursor ------------------------------------------------------
 
@@ -99,6 +150,11 @@ class Warp:
 
     # -- hazards -----------------------------------------------------------
 
+    @property
+    def pending_writes(self) -> _ScoreboardView:
+        """Set-like view of the scoreboard (mutations write through)."""
+        return _ScoreboardView(self)
+
     def has_hazard(self, inst: Instruction) -> bool:
         """RAW or WAW hazard between ``inst`` and outstanding writes.
 
@@ -106,15 +162,16 @@ class Warp:
         cannot retire (and release its CTA's resources) with writebacks,
         e.g. outstanding loads, still in flight.
         """
-        pending = self.pending_writes
+        pending = self._pending
         if not pending:
             return False
         if inst.info.is_exit:
             return True
-        if inst.dst_reg is not None and inst.dst_reg in pending:
+        dst = inst.dst_reg
+        if dst is not None and (pending >> dst) & 1:
             return True
         for r in inst.src_regs:
-            if r in pending:
+            if (pending >> r) & 1:
                 return True
         return False
 
@@ -133,51 +190,77 @@ class Warp:
         state = self.state
         if state is not WarpState.READY and state is not WarpState.BLOCKED:
             return
-        hazard = self.has_hazard(self.next_instruction)
-        self.set_state(WarpState.BLOCKED if hazard else WarpState.READY)
+        pending = self._pending
+        if not pending:
+            # Empty scoreboard: no mask can match (EXIT's all-ones included).
+            self.set_state(WarpState.READY)
+            return
+        code = self.code
+        pc = self.pc
+        # Past-the-end cursor (EXIT issued, finish() not applied yet): the
+        # trailing EXIT's all-ones mask is the right conservative answer.
+        mask = code.hazard_masks[pc] if pc < code.length else -1
+        self.set_state(WarpState.BLOCKED if pending & mask else WarpState.READY)
 
     # -- lifecycle hooks called by the sub-core ------------------------------
 
     def note_issue(self, inst: Instruction) -> None:
         """Advance past ``inst`` and mark its destination pending."""
         self.issued_instructions += 1
-        if inst.dst_reg is not None:
-            self.pending_writes.add(inst.dst_reg)
-        self.pc += 1
-        if self.pc < len(self._insts):
-            self.next_instruction = self._insts[self.pc]
-            self.refresh_state()
+        code = self.code
+        pc = self.pc
+        self._pending |= code.dst_bits[pc]
+        self.pc = pc = pc + 1
+        if pc < code.length:
+            self.next_instruction = code.insts[pc]
+            if self._pending & code.hazard_masks[pc]:
+                self.set_state(WarpState.BLOCKED)
+            elif self.state is WarpState.BLOCKED:
+                self.set_state(WarpState.READY)
 
-    # -- bank-layout memo (attached by the owning sub-core) -----------------
+    # -- bank-layout view (attached by the owning sub-core) ------------------
 
     def set_bank_view(self, mapper: "BankMapper", num_banks: int) -> None:
-        """Attach the register-file bank view used by src_banks_cached."""
-        if mapper is not self._bank_mapper or num_banks != self._num_banks:
-            self._bank_mapper = mapper
-            self._num_banks = num_banks
-            self._bank_pc = -1
+        """Attach the pre-resolved source-bank row used by src_banks_cached."""
+        self._row = self.code.bank_table(mapper, num_banks).row_for(self.warp_id)
 
     def src_banks_cached(self) -> Tuple[int, ...]:
         """Banks of next_instruction's source operands (duplicates kept).
 
         Equivalent to ``RegisterFile.src_banks(next_instruction, warp_id)``
-        but computed once per trace-cursor position instead of every
-        scheduler evaluation and collector-unit allocation of every cycle.
+        but pre-resolved at trace-compile time (``CompiledWarp.bank_table``)
+        instead of recomputed per scheduler evaluation and collector-unit
+        allocation.
         """
-        if self._bank_pc != self.pc:
-            mapper = self._bank_mapper
-            assert mapper is not None, "bank view not attached"
-            nb = self._num_banks
-            wid = self.warp_id
-            self._bank_cache = tuple(
-                mapper(r, wid, nb) for r in self.next_instruction.src_regs
-            )
-            self._bank_pc = self.pc
-        return self._bank_cache
+        row = self._row
+        assert row is not None, "bank view not attached"
+        return row[self.pc]
 
     def complete_write(self, reg: int) -> None:
-        self.pending_writes.discard(reg)
-        self.refresh_state()
+        # refresh_state with the scoreboard update folded in: this runs once
+        # per writeback (the busiest warp wake-up path), so the state
+        # recompute and ready-pool sync are inlined rather than delegated.
+        pending = self._pending & ~(1 << reg)
+        self._pending = pending
+        state = self.state
+        if state is not WarpState.READY and state is not WarpState.BLOCKED:
+            return
+        if pending:
+            code = self.code
+            pc = self.pc
+            mask = code.hazard_masks[pc] if pc < code.length else -1
+            ready = not pending & mask
+        else:
+            ready = True
+        pool = self.ready_pool
+        if ready:
+            self.state = WarpState.READY
+            if pool is not None:
+                pool[self] = None
+        else:
+            self.state = WarpState.BLOCKED
+            if pool is not None:
+                pool.pop(self, None)
 
     def finish(self, cycle: int) -> None:
         self.set_state(WarpState.FINISHED)

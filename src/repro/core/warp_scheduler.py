@@ -66,6 +66,10 @@ class WarpScheduler:
         if self.last_issued is warp:
             self.last_issued = None
 
+    def begin_run(self) -> None:
+        """Reset per-kernel scheduling state at the start of a run."""
+        self.last_issued = None
+
     # Bank stealing hook; only the BankStealingScheduler implements it.
     def steal_candidate(
         self, candidates: Collection[Warp], now: int
@@ -137,14 +141,15 @@ class RBAScheduler(WarpScheduler):
         best = None
         best_key = None
         for w in candidates:
-            if w._bank_mapper is None:
+            if w._row is None:
                 # Warps placed via SubCore.add_warp arrive with the view
                 # attached; bare warps (unit tests, scripts) get it here.
                 w.set_bank_view(rf.mapper, rf.num_banks)
             score = 0
-            # The warp caches its operand->bank layout per trace position,
-            # so scoring is a couple of list reads instead of re-running
-            # the bank mapper per operand per candidate per cycle.
+            # The warp's compiled code pre-resolves the operand->bank
+            # layout per trace position, so scoring is a couple of tuple
+            # reads instead of re-running the bank mapper per operand per
+            # candidate per cycle.
             for bank in w.src_banks_cached():
                 score += lengths[bank]
             key = (score, w.age)
@@ -169,7 +174,7 @@ class BankStealingScheduler(GTOScheduler):
         arb = self.arbitration
         rf = self.register_file
         for w in sorted(candidates, key=_AGE):
-            if w._bank_mapper is None:
+            if w._row is None:
                 w.set_bank_view(rf.mapper, rf.num_banks)
             banks = w.src_banks_cached()
             # Iterate the tuple directly: duplicate banks re-check the same
@@ -202,6 +207,10 @@ class TwoLevelScheduler(WarpScheduler):
         if group_size < 1:
             raise ValueError("group_size must be >= 1")
         self.group_size = group_size
+        self.active_group = 0
+
+    def begin_run(self) -> None:
+        super().begin_run()
         self.active_group = 0
 
     def _group(self, warp: Warp) -> int:

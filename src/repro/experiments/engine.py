@@ -13,10 +13,16 @@ The engine is the single authority that turns a batch of points into
    including the memory hierarchy), the workload name plus its full
    profile and :data:`~repro.workloads.PROFILE_VERSION`, and the
    simulator version;
-3. **fan-out** — remaining misses run on a ``concurrent.futures`` process
-   pool (``workers > 1``), with a per-point timeout, one retry in the
-   parent process when a worker crashes or times out, and a graceful
-   serial fallback when the pool cannot be created at all.
+3. **fan-out** — remaining misses are grouped into *app-affinity chunks*
+   (every point of one app lands on one worker, so each trace is
+   synthesized/compiled once per bank layout and then served from the
+   worker's in-process memo) and run on a ``concurrent.futures`` process
+   pool (``workers > 1``).  Chunks are LPT-packed using expected
+   per-point seconds from past :class:`~repro.obs.RunManifest` records
+   to even out worker wall time.  A per-chunk timeout (the per-point
+   budget × chunk size), one in-parent retry when a worker crashes or
+   times out, and a graceful serial fallback when the pool cannot be
+   created keep batches robust.
 
 Caching is loss-free because simulation is bit-deterministic (warp
 scheduling never iterates hash-ordered sets — see ``SubCore.ready``) and
@@ -47,8 +53,13 @@ from .. import __version__ as _SIM_VERSION
 from ..config import GPUConfig
 from ..gpu import simulate
 from ..metrics import SimStats
-from ..obs import RunManifest, stats_digest
-from ..workloads import PROFILE_VERSION, get_kernel, get_profile
+from ..obs import RunManifest, read_manifest, stats_digest
+from ..workloads import (
+    PROFILE_VERSION,
+    compiled_code_key,
+    get_compiled_kernel,
+    get_profile,
+)
 from .designs import get_design
 
 #: Bump when the cache-file layout (not the simulated results) changes.
@@ -86,6 +97,12 @@ class EngineProfile:
     sims: int = 0
     retries: int = 0
     disk_errors: int = 0
+    #: Compiled-trace artifact events observed across workers: ``compile``
+    #: (synthesized + lowered + stored) vs ``disk`` (loaded from the
+    #: content-addressed trace-code cache).  In-process memo hits are not
+    #: counted — they are the expected steady state inside an app chunk.
+    code_compiles: int = 0
+    code_loads: int = 0
     point_seconds: List[Tuple[str, float]] = field(default_factory=list)
     #: Simulation wall time accumulated per worker process id; the parent
     #: process appears under its own pid (serial runs and retries).
@@ -135,6 +152,8 @@ class EngineProfile:
             f"disk errors   {self.disk_errors}",
             f"cache hit rate {self.hit_rate():.1%} "
             f"({self.hits}/{self.lookups} lookups)",
+            f"trace code    {self.code_compiles} compiled, "
+            f"{self.code_loads} loaded from cache",
             f"sim wall time {self.total_sim_seconds():.2f}s",
         ]
         if len(self.worker_seconds) > 1:
@@ -219,12 +238,18 @@ def _simulate_point(
     sanitize: bool = False,
     trace_dir: Optional[str] = None,
     trace_cycles: Optional[int] = None,
-) -> Tuple[tuple, dict, float, int, Optional[str]]:
+    code_cache_dir: Optional[str] = None,
+) -> Tuple[tuple, dict, float, int, Optional[str], str]:
     """Worker entry: simulate one point, return its payload and wall time.
 
     Takes/returns plain tuples and dicts so the function pickles cheaply
     under any multiprocessing start method.  Returns ``(point_fields,
-    stats payload, sim seconds, worker pid, chrome-trace path or None)``.
+    stats payload, sim seconds, worker pid, chrome-trace path or None,
+    compiled-code source)``.  The kernel arrives pre-compiled through
+    :func:`~repro.workloads.get_compiled_kernel` — resolved *before* the
+    timed region, so ``secs`` measures simulation alone and the same-app
+    points of an affinity chunk pay for trace synthesis exactly once per
+    bank layout (``code source == "memory"`` from the second point on).
     With ``trace_dir`` set, the run is traced (stall attribution on, a
     :class:`~repro.obs.Tracer` attached) and the worker itself writes the
     point's ``<stem>.trace.json`` / ``<stem>.events.jsonl`` files, so
@@ -240,9 +265,16 @@ def _simulate_point(
 
         config = config.replace(stall_attribution=True)
         tracer = Tracer(max_cycles=trace_cycles)
+    kernel, code_source = get_compiled_kernel(
+        point.app,
+        config.bank_mapping,
+        config.rf_banks_per_subcore,
+        cache_dir=Path(code_cache_dir) if code_cache_dir is not None else None,
+        use_disk=code_cache_dir is not None,
+    )
     t0 = time.perf_counter()
     stats = simulate(
-        get_kernel(point.app),
+        kernel,
         config,
         num_sms=point.num_sms,
         collect_timeline=point.collect_timeline,
@@ -261,7 +293,19 @@ def _simulate_point(
         write_chrome_trace(tracer, chrome)
         write_events_jsonl(tracer, out / f"{stem}.events.jsonl")
         trace_path = str(chrome)
-    return point_fields, stats.to_payload(), secs, os.getpid(), trace_path
+    return point_fields, stats.to_payload(), secs, os.getpid(), trace_path, code_source
+
+
+def _simulate_chunk(fields_list: Sequence[tuple], **kwargs) -> List[tuple]:
+    """Worker entry for an app-affinity chunk: simulate points in order.
+
+    One pool task per chunk keeps every same-app point on one worker, so
+    the compiled trace is synthesized (or disk-loaded) once and then served
+    from the in-process memo.  Looks ``_simulate_point`` up as a module
+    global on every call so test seams that patch it apply to chunked runs
+    too.
+    """
+    return [_simulate_point(fields, **kwargs) for fields in fields_list]
 
 
 class ExperimentEngine:
@@ -501,12 +545,43 @@ class ExperimentEngine:
             "sanitize": self.sanitize,
             "trace_dir": str(self.trace_dir) if self.trace_dir else None,
             "trace_cycles": self.trace_cycles,
+            # The compiled-trace code cache lives beside the stats cache
+            # and is disabled with it: --no-cache runs build in memory.
+            "code_cache_dir": (
+                str(self.cache_dir / "trace-code") if self.use_disk_cache else None
+            ),
         }
 
+    def _note_code(self, point: SimPoint, code_source: str, worker: int) -> None:
+        """Account one point's compiled-code resolution (profile + manifest).
+
+        In-process memo hits (``"memory"``) are the steady state inside an
+        app-affinity chunk and are not recorded; compiles and disk loads
+        are, as ``trace:<app>`` manifest entries keyed by the artifact's
+        content address.  Without a disk cache there is no durable
+        artifact to cite, so only the profile counter is kept.
+        """
+        if code_source == "memory":
+            return
+        if code_source == "compile":
+            self.profile.code_compiles += 1
+        elif code_source == "disk":
+            self.profile.code_loads += 1
+        if self.manifest is None or not self.use_disk_cache:
+            return
+        config = resolved_config(point)
+        key = compiled_code_key(
+            point.app, config.bank_mapping, config.rf_banks_per_subcore
+        )
+        self.manifest.record(
+            f"trace:{point.app}", key, code_source, key[:16], worker=worker
+        )
+
     def _simulate_serial(self, point: SimPoint, source: str = "sim") -> SimStats:
-        _, payload, secs, worker, trace_path = _simulate_point(
+        _, payload, secs, worker, trace_path, code_source = _simulate_point(
             dataclasses.astuple(point), **self._sim_kwargs()
         )
+        self._note_code(point, code_source, worker)
         self.profile.note_sim(point.label(), secs, worker)
         stats = SimStats.from_payload(payload)
         self._record(
@@ -525,19 +600,73 @@ class ExperimentEngine:
         ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
         return concurrent.futures.ProcessPoolExecutor(max_workers=n, mp_context=ctx)
 
+    def _point_weights(self) -> Dict[str, float]:
+        """Expected seconds per point label, for chunk load balancing.
+
+        Sourced from past runs: the run manifest on disk first (it survives
+        across engines pointed at the same manifest path), then this
+        engine's own profile.  Points never timed before weigh 1.0.
+        """
+        weights: Dict[str, float] = {}
+        if self.manifest is not None:
+            try:
+                for rec in read_manifest(self.manifest.path):
+                    secs = rec.get("seconds")
+                    if isinstance(secs, (int, float)):
+                        weights[rec["point"]] = float(secs)
+            except (OSError, ValueError):
+                pass
+        for label, secs in self.profile.point_seconds:
+            weights.setdefault(label, secs)
+        return weights
+
+    def _plan_chunks(
+        self, missing: Sequence[Tuple[SimPoint, str]]
+    ) -> List[List[SimPoint]]:
+        """Pack points into app-affinity chunks, one pool task each.
+
+        All points of one app always share a chunk — the worker then
+        synthesizes/loads that app's compiled trace once and serves every
+        design from its in-process memo.  App groups are LPT-packed
+        (heaviest first, into the lightest bin) over at most ``workers``
+        bins, weighted by expected per-point seconds from past
+        :class:`~repro.obs.RunManifest` records, which evens out worker
+        wall time when apps differ wildly in cost.  Ties break on app name
+        and bin index, keeping the plan deterministic.
+        """
+        weights = self._point_weights()
+        groups: Dict[str, List[SimPoint]] = {}
+        for p, _ in missing:
+            groups.setdefault(p.app, []).append(p)
+
+        def load(points: List[SimPoint]) -> float:
+            return sum(weights.get(p.label(), 1.0) for p in points)
+
+        ordered = sorted(groups.items(), key=lambda kv: (-load(kv[1]), kv[0]))
+        bins = min(self.workers, len(ordered))
+        chunks: List[List[SimPoint]] = [[] for _ in range(bins)]
+        loads = [0.0] * bins
+        for _, points in ordered:
+            i = min(range(bins), key=lambda j: (loads[j], j))
+            chunks[i].extend(points)
+            loads[i] += load(points)
+        return [c for c in chunks if c]
+
     def _run_pool(
         self, missing: Sequence[Tuple[SimPoint, str]]
     ) -> Dict[SimPoint, SimStats]:
-        """Fan points out over a worker pool; retry stragglers serially.
+        """Fan app-affinity chunks out over a worker pool; retry failures.
 
         Robustness contract: a worker crash (``BrokenProcessPool``), a
-        per-point timeout, or a pool that cannot even be created never
-        fails the batch — affected points are re-simulated once in the
-        parent process, which either succeeds or raises the *real* error.
+        chunk timeout (the per-point budget times the chunk's size), or a
+        pool that cannot even be created never fails the batch — affected
+        points are re-simulated once in the parent process, which either
+        succeeds or raises the *real* error.
         """
         points = [p for p, _ in missing]
+        chunks = self._plan_chunks(missing)
         try:
-            pool = self._make_pool(min(self.workers, len(points)))
+            pool = self._make_pool(len(chunks))
         except (OSError, ValueError):
             return {p: self._simulate_serial(p) for p in points}
 
@@ -545,40 +674,48 @@ class ExperimentEngine:
         failed: List[SimPoint] = []
         total = len(points)
         try:
-            futures = {}
+            futures: Dict[int, concurrent.futures.Future] = {}
             try:
-                for p in points:
-                    futures[p] = pool.submit(
-                        _simulate_point,
-                        dataclasses.astuple(p),
+                for i, chunk in enumerate(chunks):
+                    futures[i] = pool.submit(
+                        _simulate_chunk,
+                        [dataclasses.astuple(p) for p in chunk],
                         **self._sim_kwargs(),
                     )
             except concurrent.futures.process.BrokenProcessPool:
-                failed.extend(p for p in points if p not in futures)
-            for p, fut in futures.items():
+                for i, chunk in enumerate(chunks):
+                    if i not in futures:
+                        failed.extend(chunk)
+            for i, fut in futures.items():
+                chunk = chunks[i]
+                timeout = (
+                    self.timeout * len(chunk) if self.timeout is not None else None
+                )
                 try:
-                    _, payload, secs, worker, trace_path = fut.result(
-                        timeout=self.timeout
-                    )
+                    results = fut.result(timeout=timeout)
                 except Exception:
                     # TimeoutError, BrokenProcessPool, or an error raised
-                    # inside the worker — all retried once in-parent, where
-                    # a real simulation error surfaces undisturbed.
+                    # inside the worker — every point of the chunk is
+                    # retried once in-parent, where a real simulation
+                    # error surfaces undisturbed.
                     fut.cancel()
-                    failed.append(p)
+                    failed.extend(chunk)
                 else:
-                    self.profile.note_sim(p.label(), secs, worker)
-                    stats = SimStats.from_payload(payload)
-                    self._record(
-                        p,
-                        self._point_key(p),
-                        "sim",
-                        stats,
-                        seconds=secs,
-                        worker=worker,
-                        trace=trace_path,
-                    )
-                    done[p] = stats
+                    for p, res in zip(chunk, results):
+                        _, payload, secs, worker, trace_path, code_source = res
+                        self._note_code(p, code_source, worker)
+                        self.profile.note_sim(p.label(), secs, worker)
+                        stats = SimStats.from_payload(payload)
+                        self._record(
+                            p,
+                            self._point_key(p),
+                            "sim",
+                            stats,
+                            seconds=secs,
+                            worker=worker,
+                            trace=trace_path,
+                        )
+                        done[p] = stats
                 self._progress_line(len(done) + len(failed), total)
         finally:
             pool.shutdown(wait=False, cancel_futures=True)

@@ -104,6 +104,15 @@ class GPU:
         base = self._snapshot_counters(sms)
         start = self.now
         now = self.now
+        # Each run() models an independent kernel launch: reset every piece
+        # of transient machine state (in-flight MSHR fills, busy ports,
+        # warp-id counters, scheduler pointers) so a second launch on this
+        # GPU behaves byte-for-byte like a fresh one.  Statistics counters
+        # stay cumulative; _snapshot_counters/_collect_stats report deltas.
+        self.l2.begin_run()
+        self.dram.begin_run()
+        for sm in self.sms:
+            sm.begin_run()
         if self.config.stall_attribution:
             for sm in sms:
                 sm.begin_attribution_window(start)
@@ -150,7 +159,7 @@ class GPU:
             for sm in sms:
                 if sm.sanitizer is not None:
                     sm.sanitizer.end_of_kernel(sm, now)
-        return self._collect_stats(sms, self.now - start, name, base)
+        return self._collect_stats(sms, self.now - start, name, base, start)
 
     def _advance(self, active: List[StreamingMultiprocessor], now: int, name: str) -> int:
         """Next cycle to simulate: ``now + 1`` or a fast-forward jump.
@@ -191,9 +200,9 @@ class GPU:
         """Counter values at run start, so stats report per-run deltas.
 
         Every counter in the simulator is cumulative over the GPU's
-        lifetime (the L2 stays warm across ``run()`` calls by design);
-        without the snapshot a second run would re-report the first
-        kernel's work as its own.
+        lifetime (machine *state* resets per launch via ``begin_run``, but
+        statistics never do); without the snapshot a second run would
+        re-report the first kernel's work as its own.
         """
         return {
             "sms": [
@@ -234,6 +243,7 @@ class GPU:
         cycles: int,
         name: str,
         base: dict,
+        start: int = 0,
     ) -> SimStats:
         sm_stats = []
         for sm, b in zip(sms, base["sms"]):
@@ -277,12 +287,18 @@ class GPU:
                     ),
                     steals=sum(sc.steals for sc in sm.subcores) - b["steals"],
                     migrations=sm.migrations - b["migrations"],
+                    # Timelines are recorded in absolute GPU cycles; report
+                    # them relative to the run's start so a second run on a
+                    # warm GPU yields the same payload a fresh GPU would
+                    # (for a fresh run start == 0 and this is the identity).
                     rf_read_timeline=(
-                        sm.rf_read_timeline[b["timeline_len"]:]
+                        [(t - start, g) for t, g in sm.rf_read_timeline[b["timeline_len"]:]]
                         if sm.rf_read_timeline is not None
                         else None
                     ),
-                    warp_finish_cycles=sm.warp_finish_cycles[b["finish_len"]:],
+                    warp_finish_cycles=[
+                        t - start for t in sm.warp_finish_cycles[b["finish_len"]:]
+                    ],
                     cta_latencies=sm.cta_latencies[b["latency_len"]:],
                     stall_cycles=stall_cycles,
                 )

@@ -134,3 +134,17 @@ class Cache:
         """Drop all resident lines and in-flight fills (test helper)."""
         self._sets.clear()
         self._mshr.clear()
+
+    def begin_run(self) -> None:
+        """Cold-start the cache for a new kernel launch.
+
+        Back-to-back ``GPU.run`` calls model independent launches, so a
+        second kernel must see exactly the state a fresh GPU would: no
+        resident lines and, critically, no in-flight MSHR fills left over
+        from the previous kernel's trailing stores (a load completing
+        "mid-run" from a stale fill would shift timing and LRU state).
+        Cumulative ``stats`` are untouched — they partition across runs.
+        """
+        self._sets.clear()
+        self._mshr.clear()
+        self._mshr_min = 0

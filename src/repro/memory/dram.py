@@ -46,6 +46,11 @@ class DRAM:
         self.stats = DRAMStats()
         self._channel_free = [0] * num_channels
 
+    def begin_run(self) -> None:
+        """Free all channels for a new kernel launch (stats untouched)."""
+        for i in range(self.num_channels):
+            self._channel_free[i] = 0
+
     def access(self, now: int, line_address: int = 0) -> int:
         """Issue one line transaction; returns its completion cycle."""
         channel = line_address % self.num_channels

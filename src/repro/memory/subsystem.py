@@ -77,6 +77,15 @@ class MemorySubsystem:
         self.tracer = tracer
         self._sm_id = sm_id
 
+    def begin_run(self) -> None:
+        """Reset per-launch transient state (the L1 side of the SM).
+
+        The shared L2/DRAM are reset once per launch by the GPU, not per
+        subsystem — several SMs share those instances.
+        """
+        self._l1_port_free = 0
+        self.l1.begin_run()
+
     # -- global memory ---------------------------------------------------------
 
     def access_global(self, mem: MemRef, now: int) -> AccessResult:

@@ -38,8 +38,10 @@ def stats_digest(payload: Dict[str, Any]) -> str:
 class RunManifest:
     """Append-only JSONL sink for engine run records."""
 
-    #: Resolution sources a record may carry.
-    SOURCES = ("memory", "disk", "sim", "retry")
+    #: Resolution sources a record may carry.  ``compile`` marks a
+    #: compiled-trace build (``trace:<app>`` records), the rest are
+    #: simulation-point resolutions.
+    SOURCES = ("memory", "disk", "sim", "retry", "compile")
 
     def __init__(self, path: Union[str, os.PathLike]):
         self.path = Path(path)

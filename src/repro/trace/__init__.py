@@ -1,6 +1,8 @@
 """Trace-driven workload representation: warp, CTA, and kernel traces."""
 
 from .builder import TraceBuilder, make_cta, make_kernel
+from .code_cache import CACHE_DIR_ENV, CODE_VERSION, code_key, default_cache_dir
+from .compiled import CompiledWarp, compile_kernel, compile_warp_trace
 from .kernel_trace import WARP_SIZE, CTATrace, KernelTrace
 from .text_format import (
     TraceParseError,
@@ -17,6 +19,13 @@ __all__ = [
     "TraceBuilder",
     "make_cta",
     "make_kernel",
+    "CACHE_DIR_ENV",
+    "CODE_VERSION",
+    "code_key",
+    "default_cache_dir",
+    "CompiledWarp",
+    "compile_kernel",
+    "compile_warp_trace",
     "WARP_SIZE",
     "CTATrace",
     "KernelTrace",

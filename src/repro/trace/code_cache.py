@@ -1,0 +1,153 @@
+"""Content-addressed disk cache for compiled kernel traces.
+
+Synthesizing a kernel trace from its :class:`~repro.workloads.AppProfile`
+and lowering it to :class:`~repro.trace.compiled.CompiledWarp` form is pure
+per-app work, yet an experiment grid repeats it for every (app, design)
+point: 13 designs sharing ``cg-lou`` synthesize the identical trace 13
+times.  This module stores the finished artifact — the ``KernelTrace``
+with its compiled code and prewarmed bank tables attached — as a pickle
+keyed by everything that determines its content:
+
+* :data:`CODE_VERSION` (the compiled representation's own schema),
+* ``PROFILE_VERSION`` (the profile → trace synthesis pipeline version),
+* the full profile payload,
+* the bank-mapping name and bank count (they shape the pre-resolved
+  bank tables).
+
+Changing any of these changes the key, so stale entries are simply never
+addressed again — invalidation by construction, same discipline as the
+experiment engine's result cache.
+
+Location: ``$REPRO_TRACE_CACHE_DIR`` when set, else
+``~/.cache/repro-sim/trace-code``.  Writers stage through a temp file and
+``os.replace`` so concurrent engine workers never observe torn entries;
+unreadable or version-skewed entries are treated as misses and removed
+best-effort.
+
+This module deliberately knows nothing about :mod:`repro.workloads` (which
+imports :mod:`repro.trace`); callers pass the key material and a builder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional, Tuple
+
+#: Schema version of the compiled-trace artifact.  Bump whenever
+#: :class:`~repro.trace.compiled.CompiledWarp`'s layout or the pickled
+#: envelope changes; old entries then miss instead of unpickling garbage.
+CODE_VERSION = 1
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_TRACE_CACHE_DIR"
+
+_MAGIC = "repro-code"
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-sim" / "trace-code"
+
+
+def code_key(
+    profile_version: int,
+    profile_payload: Mapping[str, Any],
+    mapping_name: str,
+    num_banks: int,
+) -> str:
+    """Content hash addressing one compiled kernel on disk."""
+    material = json.dumps(
+        {
+            "code_version": CODE_VERSION,
+            "profile_version": profile_version,
+            "profile": dict(profile_payload),
+            "bank_mapping": mapping_name,
+            "num_banks": num_banks,
+        },
+        sort_keys=True,
+        default=str,
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def _entry_path(cache_dir: Path, key: str) -> Path:
+    return cache_dir / f"{key}.code.pkl"
+
+
+def load_compiled(cache_dir: Path, key: str) -> Optional[Any]:
+    """The cached artifact for ``key``, or None on miss/corruption."""
+    path = _entry_path(cache_dir, key)
+    try:
+        with open(path, "rb") as fh:
+            envelope = pickle.load(fh)
+    except FileNotFoundError:
+        return None
+    except Exception:
+        _discard(path)
+        return None
+    if (
+        not isinstance(envelope, tuple)
+        or len(envelope) != 3
+        or envelope[0] != _MAGIC
+        or envelope[1] != CODE_VERSION
+    ):
+        _discard(path)
+        return None
+    return envelope[2]
+
+
+def store_compiled(cache_dir: Path, key: str, artifact: Any) -> None:
+    """Atomically persist ``artifact`` under ``key`` (best-effort)."""
+    path = _entry_path(cache_dir, key)
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(cache_dir), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump((_MAGIC, CODE_VERSION, artifact), fh, protocol=4)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        # A read-only or full cache dir degrades to recompilation, never
+        # to failure.
+        pass
+
+
+def get_or_build(
+    cache_dir: Optional[Path],
+    key: str,
+    builder: Callable[[], Any],
+) -> Tuple[Any, str]:
+    """Load ``key`` from ``cache_dir`` or build and store it.
+
+    Returns ``(artifact, source)`` with source ``"disk"`` on a cache hit
+    and ``"compile"`` on a build.  ``cache_dir=None`` disables the disk
+    layer entirely (always compiles, stores nothing).
+    """
+    if cache_dir is not None:
+        artifact = load_compiled(cache_dir, key)
+        if artifact is not None:
+            return artifact, "disk"
+    artifact = builder()
+    if cache_dir is not None:
+        store_compiled(cache_dir, key, artifact)
+    return artifact, "compile"
+
+
+def _discard(path: Path) -> None:
+    try:
+        os.unlink(path)
+    except OSError:
+        pass

@@ -16,6 +16,8 @@ from .registry import (
     SENSITIVE_APPS,
     all_profiles,
     app_names,
+    compiled_code_key,
+    get_compiled_kernel,
     get_kernel,
     get_profile,
     suites,
@@ -40,6 +42,8 @@ __all__ = [
     "SENSITIVE_APPS",
     "all_profiles",
     "app_names",
+    "compiled_code_key",
+    "get_compiled_kernel",
     "get_kernel",
     "get_profile",
     "suites",

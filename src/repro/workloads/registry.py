@@ -9,11 +9,14 @@ limited sub-population of Fig. 11/14.
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from functools import lru_cache
-from typing import Dict, List
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
 
-from ..trace import KernelTrace
-from .profiles import AppProfile
+from ..trace import KernelTrace, code_key, compile_kernel, default_cache_dir
+from ..trace.code_cache import get_or_build
+from .profiles import PROFILE_VERSION, AppProfile
 from .suites import all_suite_profiles
 from .synth import build_kernel
 from .tpch import all_tpch_profiles
@@ -108,6 +111,63 @@ def get_profile(name: str) -> AppProfile:
 def get_kernel(name: str) -> KernelTrace:
     """Synthesize the kernel trace of a registered application."""
     return build_kernel(get_profile(name))
+
+
+def compiled_code_key(name: str, mapping_name: str, num_banks: int) -> str:
+    """Content-address of an app's compiled code for a bank layout.
+
+    The key any :func:`get_compiled_kernel` disk entry is stored under;
+    exposed so the experiment engine can cite it in run manifests without
+    rebuilding the artifact.
+    """
+    return code_key(PROFILE_VERSION, asdict(get_profile(name)), mapping_name, num_banks)
+
+
+#: In-process compiled-kernel memo: (app, mapping, num_banks) → KernelTrace.
+#: Keeps one artifact per combination alive per process, so an engine
+#: worker simulating one app under many designs compiles/loads it once.
+_COMPILED_MEMO: Dict[Tuple[str, str, int], KernelTrace] = {}
+
+
+def get_compiled_kernel(
+    name: str,
+    mapping_name: str,
+    num_banks: int,
+    cache_dir: Optional[Path] = None,
+    use_disk: bool = True,
+) -> Tuple[KernelTrace, str]:
+    """A registered app's kernel trace with compiled code attached.
+
+    Resolution order: in-process memo (``source="memory"``), the
+    content-addressed disk cache (``"disk"``; default location
+    :func:`repro.trace.default_cache_dir`, pass ``cache_dir`` to redirect
+    or ``use_disk=False`` to skip it), else synthesize + compile + store
+    (``"compile"``).  The disk key covers ``PROFILE_VERSION``, the full
+    profile payload, the bank-mapping name and the bank count, so any of
+    them changing invalidates the entry.
+    """
+    memo_key = (name, mapping_name, num_banks)
+    cached = _COMPILED_MEMO.get(memo_key)
+    if cached is not None:
+        return cached, "memory"
+
+    profile = get_profile(name)
+    from ..regalloc import get_mapping
+
+    mapper = get_mapping(mapping_name)
+    key = compiled_code_key(name, mapping_name, num_banks)
+
+    def _build() -> KernelTrace:
+        kernel = build_kernel(profile)
+        compile_kernel(kernel, mapper, num_banks)
+        return kernel
+
+    disk_dir: Optional[Path] = None
+    if use_disk:
+        disk_dir = cache_dir if cache_dir is not None else default_cache_dir()
+    kernel, source = get_or_build(disk_dir, key, _build)
+    _COMPILED_MEMO[memo_key] = kernel
+    return kernel, source
 
 
 def app_names(suite: str | None = None) -> List[str]:

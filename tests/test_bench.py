@@ -313,3 +313,28 @@ class TestCLI:
         bad.write_text(json.dumps({"schema": REPORT_SCHEMA}))
         # Parsed before any suite runs, so this path is fast.
         assert main(["--quick", "--baseline", str(bad)]) == 2
+
+    def test_update_baseline_regenerates_validated_stamped_files(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import repro
+        import repro.bench.__main__ as bench_main
+
+        # Regenerate only the quick baseline here; the full suite takes
+        # minutes and exercises the identical code path.
+        monkeypatch.setattr(
+            bench_main,
+            "BASELINE_FILES",
+            {"quick": "BENCH_baseline_quick.json"},
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main(["--update-baseline", "--repeats", "1", "--no-stages"]) == 0
+        report = json.loads((tmp_path / "BENCH_baseline_quick.json").read_text())
+        assert validate_report(report) == []
+        assert report["suite"] == "quick"
+        assert report["sim_version"] == repro.__version__
+        assert "baseline written to" in capsys.readouterr().out
+
+    def test_update_baseline_rejects_output_and_baseline_flags(self, tmp_path):
+        assert main(["--update-baseline", "--output", "x.json"]) == 2
+        assert main(["--update-baseline", "--baseline", "x.json"]) == 2

@@ -1,0 +1,107 @@
+"""Tests for the compiled-trace disk cache and its invalidation contract.
+
+The content address of a compiled kernel covers the profile payload,
+``PROFILE_VERSION``, and the bank layout (mapping name + bank count):
+changing any of them must miss the cache, and a disk-loaded artifact must
+simulate byte-identically to a freshly synthesized one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import volta_v100
+from repro.gpu import simulate
+from repro.obs import stats_digest
+from repro.workloads import (
+    compiled_code_key,
+    get_compiled_kernel,
+    get_kernel,
+)
+from repro.workloads import registry
+
+APP = "rod-nw"
+LAYOUT = ("warp_swizzle", 2)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_memo():
+    """Isolate each test from compiled kernels memoized by earlier tests."""
+    registry._COMPILED_MEMO.clear()
+    yield
+    registry._COMPILED_MEMO.clear()
+
+
+class TestKeyInvalidation:
+    def test_bank_mapping_changes_key(self):
+        base = compiled_code_key(APP, *LAYOUT)
+        assert compiled_code_key(APP, "mod", 2) != base
+        assert compiled_code_key(APP, "warp_swizzle", 4) != base
+
+    def test_profile_version_changes_key(self, monkeypatch):
+        base = compiled_code_key(APP, *LAYOUT)
+        monkeypatch.setattr(registry, "PROFILE_VERSION", "test-bump")
+        assert compiled_code_key(APP, *LAYOUT) != base
+
+    def test_app_changes_key(self):
+        assert compiled_code_key(APP, *LAYOUT) != compiled_code_key(
+            "tpcU-q3", *LAYOUT
+        )
+
+
+class TestResolutionOrder:
+    def test_compile_then_memory_then_disk(self, tmp_path):
+        k1, src1 = get_compiled_kernel(APP, *LAYOUT, cache_dir=tmp_path)
+        assert src1 == "compile"
+        k2, src2 = get_compiled_kernel(APP, *LAYOUT, cache_dir=tmp_path)
+        assert src2 == "memory"
+        assert k2 is k1
+        registry._COMPILED_MEMO.clear()  # a fresh process: memo gone
+        k3, src3 = get_compiled_kernel(APP, *LAYOUT, cache_dir=tmp_path)
+        assert src3 == "disk"
+        assert k3.name == k1.name
+
+    def test_no_disk_mode_always_compiles(self, tmp_path):
+        _, src1 = get_compiled_kernel(APP, *LAYOUT, use_disk=False)
+        assert src1 == "compile"
+        registry._COMPILED_MEMO.clear()
+        _, src2 = get_compiled_kernel(APP, *LAYOUT, use_disk=False)
+        assert src2 == "compile"
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestDiskInvalidation:
+    def test_layout_change_misses_disk(self, tmp_path):
+        get_compiled_kernel(APP, *LAYOUT, cache_dir=tmp_path)
+        registry._COMPILED_MEMO.clear()
+        _, src = get_compiled_kernel(APP, "warp_swizzle", 4, cache_dir=tmp_path)
+        assert src == "compile"
+        registry._COMPILED_MEMO.clear()
+        _, src = get_compiled_kernel(APP, "mod", 2, cache_dir=tmp_path)
+        assert src == "compile"
+
+    def test_profile_version_bump_misses_disk(self, tmp_path, monkeypatch):
+        get_compiled_kernel(APP, *LAYOUT, cache_dir=tmp_path)
+        registry._COMPILED_MEMO.clear()
+        monkeypatch.setattr(registry, "PROFILE_VERSION", "test-bump")
+        _, src = get_compiled_kernel(APP, *LAYOUT, cache_dir=tmp_path)
+        assert src == "compile"
+
+
+class TestDiskLoadedEquivalence:
+    def test_disk_loaded_kernel_simulates_byte_identically(self, tmp_path):
+        config = volta_v100()
+        fresh = simulate(get_kernel(APP), config).to_payload()
+        get_compiled_kernel(
+            APP, config.bank_mapping, config.rf_banks_per_subcore,
+            cache_dir=tmp_path,
+        )
+        registry._COMPILED_MEMO.clear()
+        loaded, src = get_compiled_kernel(
+            APP, config.bank_mapping, config.rf_banks_per_subcore,
+            cache_dir=tmp_path,
+        )
+        assert src == "disk"
+        assert stats_digest(simulate(loaded, config).to_payload()) == stats_digest(
+            fresh
+        )

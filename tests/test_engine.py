@@ -337,6 +337,7 @@ def _stress_worker(args):
     )
 
 
+@pytest.mark.slow
 class TestSharedCacheStress:
     @pytest.mark.skipif(
         "fork" not in multiprocessing.get_all_start_methods(),
@@ -441,3 +442,73 @@ class TestWarmCacheFigure:
             assert first.rows == second.rows
         finally:
             eng._engine = old
+
+
+class TestAppAffinityChunks:
+    """The pool fans out app-affinity chunks: every point of one app lands
+    on one worker, so each trace is compiled once and reused across designs.
+    """
+
+    def test_all_points_of_one_app_share_a_chunk(self, tmp_path):
+        e = ExperimentEngine(workers=3, cache_dir=tmp_path)
+        points = [
+            SimPoint("rod-nw", "baseline"),
+            SimPoint("rod-nw", "rba"),
+            SimPoint("rod-nw", "fully_connected"),
+            SimPoint("tpcU-q3", "baseline"),
+            SimPoint("tpcU-q3", "rba"),
+            SimPoint("ply-atax", "baseline"),
+        ]
+        chunks = e._plan_chunks([(p, "key") for p in points])
+        assert 1 <= len(chunks) <= 3
+        owners = {}
+        for i, chunk in enumerate(chunks):
+            for p in chunk:
+                owners.setdefault(p.app, set()).add(i)
+        assert all(len(bins) == 1 for bins in owners.values())
+        assert sorted(p for c in chunks for p in c) == sorted(points)
+
+    def test_chunk_planning_balances_by_manifest_seconds(self, tmp_path):
+        manifest = tmp_path / "manifest.jsonl"
+        e = ExperimentEngine(
+            workers=2, cache_dir=tmp_path, manifest_path=manifest
+        )
+        heavy = SimPoint("rod-nw", "baseline")
+        light1 = SimPoint("tpcU-q3", "baseline")
+        light2 = SimPoint("ply-atax", "baseline")
+        assert e.manifest is not None
+        for p, secs in [(heavy, 10.0), (light1, 1.0), (light2, 1.0)]:
+            e.manifest.record(p.label(), "key", "sim", "digest", seconds=secs)
+        chunks = e._plan_chunks(
+            [(p, "key") for p in (heavy, light1, light2)]
+        )
+        # LPT over past seconds: the heavy app gets a bin of its own, the
+        # two light apps share the other.
+        apps = sorted(sorted({p.app for p in c}) for c in chunks)
+        assert apps == [["ply-atax", "tpcU-q3"], ["rod-nw"]]
+
+    def test_one_trace_compile_per_app_across_designs(self, tmp_path):
+        from repro.workloads import registry
+
+        registry._COMPILED_MEMO.clear()  # forks must not inherit warm code
+        manifest = tmp_path / "manifest.jsonl"
+        e = ExperimentEngine(
+            workers=2, cache_dir=tmp_path / "cache", manifest_path=manifest
+        )
+        points = [
+            SimPoint("rod-nw", "baseline"),
+            SimPoint("rod-nw", "rba"),
+            SimPoint("tpcU-q3", "baseline"),
+            SimPoint("tpcU-q3", "rba"),
+        ]
+        out = e.run_many(points)
+        assert len(out) == 4
+        compiles = [
+            r for r in read_manifest(manifest) if r["source"] == "compile"
+        ]
+        counts = {}
+        for r in compiles:
+            counts[r["point"]] = counts.get(r["point"], 0) + 1
+        # baseline and rba share the bank layout, so each app's trace is
+        # compiled exactly once — by the one worker owning its chunk.
+        assert counts == {"trace:rod-nw": 1, "trace:tpcU-q3": 1}

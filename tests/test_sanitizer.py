@@ -97,10 +97,14 @@ def test_free_cu_with_pending_operands_raises(sanitized_config):
 
 
 def test_arbitration_pending_skew_raises(sanitized_config):
-    gpu = GPU(config=sanitized_config)
-    gpu.sms[0].subcores[2].arbitration.pending += 1
+    # Injected after the run: GPU.run now resets transient arbitration
+    # state at launch (begin_run), so a pre-run injection would be wiped
+    # before the first sanitized cycle.
+    gpu, _ = _clean_run(sanitized_config)
+    sm = gpu.sms[0]
+    sm.subcores[2].arbitration.pending += 1
     with pytest.raises(InvariantViolation) as exc_info:
-        gpu.run(simple_kernel())
+        sm.sanitizer.check_sm(sm, now=gpu.now)
     exc = exc_info.value
     assert exc.invariant == "arbitration-accounting"
     assert exc.subcore_id == 2
