@@ -1,0 +1,62 @@
+"""71-point stats-digest grid for byte-identity verification.
+
+Run on main, save digests; run again after the change; diff must be empty.
+Not part of the commit.
+"""
+import json
+import sys
+from pathlib import Path
+
+from repro.config import volta_v100
+from repro.experiments.designs import get_design
+from repro.gpu import simulate
+from repro.obs import stats_digest
+from repro.workloads import fma_microbenchmark, get_kernel
+
+APPS = ["cg-lou", "pb-sgemm", "tpcU-q8", "rod-bp", "ply-2Dcon"]
+DESIGNS = [
+    "baseline", "rba", "srr", "shuffle", "shuffle_rba", "srr_rba",
+    "fully_connected", "fc_rba", "bank_stealing", "two_level", "cu1",
+    "rba_4banks", "rba_lat5",
+]
+
+points = []
+for app in APPS:
+    for design in DESIGNS:
+        points.append((f"{app}:{design}", get_design(design), app, 1, False))
+
+# extras: multi-SM, bank-mapping variants, stall attribution, sanitize,
+# timeline, microbench
+points.append(("cg-lou:baseline:sms4", get_design("baseline"), "cg-lou", 4, False))
+points.append(
+    ("tpcU-q8:baseline-mod", volta_v100().replace(bank_mapping="mod"), "tpcU-q8", 1, False)
+)
+points.append(
+    (
+        "tpcU-q8:baseline-scrambled",
+        volta_v100().replace(bank_mapping="scrambled"),
+        "tpcU-q8",
+        1,
+        False,
+    )
+)
+points.append(
+    ("cg-lou:rba:attr", get_design("rba").replace(stall_attribution=True), "cg-lou", 1, False)
+)
+points.append(
+    ("pb-sgemm:srr:timeline", get_design("srr"), "pb-sgemm", 1, True)
+)
+points.append(("fma-unbalanced:baseline", get_design("baseline"), None, 1, False))
+
+assert len(points) == 71, len(points)
+
+digests = {}
+for i, (label, config, app, num_sms, timeline) in enumerate(points):
+    kernel = fma_microbenchmark("unbalanced") if app is None else get_kernel(app)
+    stats = simulate(kernel, config, num_sms=num_sms, collect_timeline=timeline)
+    digests[label] = stats_digest(stats.to_payload())
+    print(f"[{i + 1}/71] {label} {digests[label]}", flush=True)
+
+out = Path(sys.argv[1])
+out.write_text(json.dumps(digests, indent=2, sort_keys=True) + "\n")
+print(f"wrote {out}")
