@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Set
 
-from .rules import RULES, check_tree
+from .rules import RULES, check_tree, get_rule
 
 #: ``# simlint: ignore`` or ``# simlint: ignore[RPR001,RPR002]``
 _SUPPRESS_RE = re.compile(
@@ -35,7 +35,7 @@ class Finding:
 
     @property
     def hint(self) -> str:
-        rule = RULES.get(self.rule_id)
+        rule = get_rule(self.rule_id)
         return rule.hint if rule is not None else "fix the parse error first"
 
     def format(self) -> str:
@@ -167,10 +167,17 @@ def lint_paths(paths: Sequence[str], strict: bool = False) -> LintReport:
 
 
 def rule_listing() -> str:
-    """Human-readable table of every rule (used by --list-rules and docs)."""
+    """Human-readable table of every rule (used by --list-rules and docs).
+
+    Includes pass-owned RPR1xx/2xx/3xx rules when
+    :mod:`repro.analysis.passes` has been imported (the CLI always does).
+    """
+    from .rules import all_rules
+
+    catalog = all_rules()
     lines = []
-    for rule_id in sorted(RULES):
-        rule = RULES[rule_id]
+    for rule_id in sorted(catalog):
+        rule = catalog[rule_id]
         lines.append(f"{rule_id}  {rule.summary}")
         lines.append(f"        fix: {rule.hint}")
     return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""RPR2xx — reset-completeness over the model's component tree.
+
+The simulator's cross-run determinism contract says: after
+``begin_run()``/``reset()`` (or a method tagged ``# simcheck:
+reset-hook``), a component behaves as if freshly constructed.  PR 1's
+cumulative-stats leak and PR 7's L1/MSHR/DRAM carry-over were both
+instances of the same bug class — a transient attribute assigned in
+``__init__`` that a reset path forgot — so this pass checks the class
+directly:
+
+* **RPR201** — a mutable container attribute that some non-reset method
+  mutates in place but no reset path re-initializes or ``.clear()``\\ s.
+* **RPR202** — a scalar attribute that some non-reset method rebinds but
+  no reset path re-initializes (``+=`` never counts as re-initialization:
+  it reads the stale value).
+* **RPR203** — an attribute holding a component *constructed here* whose
+  class has its own reset hook, but which the owner's reset paths neither
+  cascade into (``self.x.begin_run()``) nor rebuild.  Attributes received
+  from parameters are borrowed — their constructor's owner resets them.
+
+Deliberately-persistent state (cumulative statistics reported via
+snapshot/delta, wiring installed once per process) is declared, not
+silenced: ``# simcheck: persistent -- reason`` on the ``__init__``
+assignment line.  The annotation must justify a live finding or RPR104
+flags it as stale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..project import TAG_PERSISTENT, AttrInfo, reset_closure
+from .base import AnalysisContext, AnalysisPass
+
+#: Packages whose classes form the simulated model (reset rules apply to
+#: every class here that defines at least one reset hook).
+RESET_SCOPE_PREFIXES = ("repro.core", "repro.gpu", "repro.memory", "repro.trace")
+
+
+def _in_scope(module: str) -> bool:
+    return any(module == p or module.startswith(p + ".") for p in RESET_SCOPE_PREFIXES)
+
+
+class ResetCompletenessPass(AnalysisPass):
+    name = "reset-completeness"
+
+    def run(self, ctx: AnalysisContext) -> None:
+        project = ctx.project
+        for class_name, info in sorted(project.classes.items()):
+            if not _in_scope(info.module):
+                continue
+            if not project.has_reset_hook(class_name):
+                continue
+            attrs = project.flattened_attrs(class_name)
+            closure_names, scan = reset_closure(project, class_name)
+            reset_attrs = scan.rebinds | scan.clears
+            for attr in sorted(attrs.values(), key=lambda a: (a.path, a.lineno)):
+                self._check_attr(ctx, class_name, attr, closure_names, reset_attrs, scan.cascaded)
+
+    def _check_attr(
+        self,
+        ctx: AnalysisContext,
+        class_name: str,
+        attr: AttrInfo,
+        closure_names: Set[str],
+        reset_attrs: Set[str],
+        cascaded: Set[str],
+    ) -> None:
+        project = ctx.project
+        if attr.annotation is not None and attr.annotation.tag == TAG_PERSISTENT:
+            module = self._module_of(ctx, attr.path)
+            if module is not None:
+                ctx.use(module, attr.lineno)
+            return
+        if attr.name in reset_attrs:
+            return
+
+        # RPR203: owned component with its own reset hook, never cascaded.
+        if (
+            attr.type is not None
+            and attr.owned
+            and project.is_project_class(attr.type.cls)
+            and project.has_reset_hook(attr.type.cls)
+            and attr.name not in cascaded
+        ):
+            kind = f"{attr.type.container} of {attr.type.cls}" if attr.type.container else attr.type.cls
+            ctx.add(
+                "RPR203",
+                attr.path,
+                attr.lineno,
+                f"{class_name}.{attr.name} owns a {kind} with a reset hook, "
+                "but no reset path cascades into it or rebuilds it",
+            )
+            return
+
+        mutators = sorted(attr.mutated_in - closure_names, key=str)
+        rebinders = sorted(attr.reassigned_in - closure_names, key=str)
+        if attr.mutable_container and mutators:
+            ctx.add(
+                "RPR201",
+                attr.path,
+                attr.lineno,
+                f"{class_name}.{attr.name} is a mutable container mutated in "
+                f"{', '.join(mutators)} but never re-initialized in a reset path",
+            )
+        elif not attr.mutable_container and rebinders:
+            ctx.add(
+                "RPR202",
+                attr.path,
+                attr.lineno,
+                f"{class_name}.{attr.name} is reassigned in "
+                f"{', '.join(rebinders)} but never re-initialized in a reset path",
+            )
+
+    @staticmethod
+    def _module_of(ctx: AnalysisContext, path: str) -> Optional[str]:
+        for name, info in ctx.project.modules.items():
+            if info.path == path:
+                return name
+        return None

@@ -78,6 +78,32 @@ RULES: Dict[str, Rule] = {
     )
 }
 
+#: Rules contributed by simcheck v2 analysis passes (repro.analysis.passes)
+#: at import time.  Kept separate from :data:`RULES` so the single-file
+#: linter stays self-contained, but hint lookup and ``--list-rules`` see
+#: one combined catalog.
+_EXTRA_RULES: Dict[str, Rule] = {}
+
+
+def register_rules(rules: "List[Rule]") -> None:
+    """Register pass-owned rules into the shared catalog (idempotent)."""
+    for rule in rules:
+        _EXTRA_RULES[rule.rule_id] = rule
+
+
+def get_rule(rule_id: str) -> Optional[Rule]:
+    """Look up a rule by ID across the linter and every registered pass."""
+    rule = RULES.get(rule_id)
+    return rule if rule is not None else _EXTRA_RULES.get(rule_id)
+
+
+def all_rules() -> Dict[str, Rule]:
+    """The combined catalog, linter rules first on ID collisions."""
+    merged = dict(_EXTRA_RULES)
+    merged.update(RULES)
+    return merged
+
+
 #: Legacy module-level numpy.random functions (global-state RNG).
 _NP_RANDOM_LEGACY = frozenset(
     {

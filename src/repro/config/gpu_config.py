@@ -171,6 +171,11 @@ class GPUConfig:
             raise ValueError("rba_score_latency must be >= 0")
         if self.migration_latency < 0:
             raise ValueError("migration_latency must be >= 0")
+        if self.shared_mem_per_sm > self.memory.shared_mem_size_bytes:
+            raise ValueError(
+                "shared_mem_per_sm exceeds the shared-memory scratchpad "
+                f"({self.shared_mem_per_sm} > {self.memory.shared_mem_size_bytes} bytes)"
+            )
 
     # -- derived quantities --------------------------------------------------
 

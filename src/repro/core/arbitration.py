@@ -48,13 +48,13 @@ class ArbitrationUnit:
         # when score_latency > 0.
         self._history: Deque[Tuple[int, List[int]]] = deque([(-1, [0] * num_banks)])
         # statistics
-        self.total_grants = 0
-        self.conflict_cycles = 0  # cycles where some bank left requests waiting
-        self.pending = 0
+        self.total_grants = 0  # simcheck: persistent -- cumulative statistic; snapshot/delta reported
+        self.conflict_cycles = 0  # simcheck: persistent -- cumulative statistic; snapshot/delta reported
+        self.pending = 0  # simcheck: persistent -- tracks queued requests; drains with the kernel
         # event tracing (repro.obs); attached by the owning SM when active
-        self.tracer: Optional["Tracer"] = None
-        self._sm_id = -1
-        self._subcore_id = -1
+        self.tracer: Optional["Tracer"] = None  # simcheck: persistent -- wiring installed once per process, survives runs
+        self._sm_id = -1  # simcheck: persistent -- wiring installed once per process, survives runs
+        self._subcore_id = -1  # simcheck: persistent -- wiring installed once per process, survives runs
 
     def attach_tracer(self, tracer: "Tracer", sm_id: int, subcore_id: int) -> None:
         """Attach the event tracer; conflict cycles emit bank-conflict events."""
@@ -154,7 +154,7 @@ class ArbitrationUnit:
 
     # -- RBA scoring interface ------------------------------------------------------
 
-    def _record(self, now: int) -> None:
+    def _record(self, now: int) -> None:  # simcheck: hot-ok -- delayed-RBA scoring history is inherently a per-cycle snapshot
         """Log end-of-cycle queue lengths for the delayed scoring path."""
         lengths = [len(q) - h for q, h in zip(self.queues, self._heads)]
         hist = self._history
@@ -163,7 +163,7 @@ class ArbitrationUnit:
         elif hist[-1][1] != lengths:
             hist.append((now, lengths))
 
-    def queue_lengths(self, now: int) -> List[int]:
+    def queue_lengths(self, now: int) -> List[int]:  # simcheck: hot-ok -- RBA scoring inherently materializes the visible lengths
         """Queue lengths as visible to the scheduler at ``now``.
 
         With ``score_latency == 0`` this is the live state; otherwise the

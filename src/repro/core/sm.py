@@ -50,13 +50,13 @@ class StreamingMultiprocessor:
             raise ValueError("assignment policy sized for a different sub-core count")
         self.subcores = [SubCore(i, config, self) for i in range(config.subcores_per_sm)]
 
-        self.resident_ctas: List[ThreadBlock] = []
-        self.shared_mem_used = 0
+        self.resident_ctas: List[ThreadBlock] = []  # simcheck: persistent -- drains via _release_cta at retirement; a run only ends empty
+        self.shared_mem_used = 0  # simcheck: persistent -- tracks CTA residency; returns to 0 as CTAs retire
         self.shared_conflict_degree = 1
 
         # Entries are (cycle, seq, warp, reg); ``reg is None`` marks a
         # migration-arrival event rather than a register writeback.
-        self._wb_heap: List[Tuple[int, int, Warp, Optional[int]]] = []
+        self._wb_heap: List[Tuple[int, int, Warp, Optional[int]]] = []  # simcheck: persistent -- empty whenever no kernel is in flight (see begin_run)
         self._seq = itertools.count()
         self._warp_id_counter = 0
 
@@ -81,19 +81,19 @@ class StreamingMultiprocessor:
         self.stall_attribution = config.stall_attribution
         #: Cached config flag: read once per stepped cycle.
         self._work_stealing = config.work_stealing
-        self._attr_cycles = 0
+        self._attr_cycles = 0  # simcheck: persistent -- cumulative attributed-cycle count; snapshot/delta reported
         self._last_stepped: Optional[int] = None
 
         # statistics
-        self.total_instructions = 0
-        self.ctas_completed = 0
-        self.migrations = 0
-        self.resources_freed = False
-        self.rf_read_timeline: Optional[List[Tuple[int, int]]] = (
+        self.total_instructions = 0  # simcheck: persistent -- cumulative statistic; snapshot/delta reported
+        self.ctas_completed = 0  # simcheck: persistent -- cumulative statistic; snapshot/delta reported
+        self.migrations = 0  # simcheck: persistent -- cumulative statistic; snapshot/delta reported
+        self.resources_freed = False  # simcheck: persistent -- edge-triggered flag consumed by the GPU cycle loop
+        self.rf_read_timeline: Optional[List[Tuple[int, int]]] = (  # simcheck: persistent -- cumulative timeline; snapshot/delta reported
             [] if collect_timeline else None
         )
-        self.warp_finish_cycles: List[int] = []
-        self.cta_latencies: List[int] = []
+        self.warp_finish_cycles: List[int] = []  # simcheck: persistent -- cumulative record; snapshot/delta reported
+        self.cta_latencies: List[int] = []  # simcheck: persistent -- cumulative record; snapshot/delta reported
 
     def begin_run(self) -> None:
         """Reset per-launch transient state so back-to-back ``GPU.run``
@@ -210,7 +210,7 @@ class StreamingMultiprocessor:
 
     # -- simulation --------------------------------------------------------------
 
-    def begin_attribution_window(self, start: int) -> None:
+    def begin_attribution_window(self, start: int) -> None:  # simcheck: reset-hook
         """Reset the fast-forward gap reference at the start of a run.
 
         Without the reset, the idle span between two ``GPU.run()`` calls
@@ -285,7 +285,7 @@ class StreamingMultiprocessor:
         if self.sanitizer is not None:
             self.sanitizer.check_sm(self, now)
 
-    def _try_steal(self, now: int) -> None:
+    def _try_steal(self, now: int) -> None:  # simcheck: hot-ok -- work-stealing upper-bound study only; off on measured designs
         """Dynamic warp migration (Sec. VII's work-stealing design).
 
         A sub-core whose resident warps are all finished or parked at the
@@ -350,8 +350,9 @@ class StreamingMultiprocessor:
             # _try_steal runs every stepped cycle and can migrate warps
             # while none is READY (donors may be BLOCKED), so only the
             # all-quiescent writeback fast-forward is safe to keep.
-            if any(not sc.quiescent() for sc in self.subcores):
-                return now + 1
+            for sc in self.subcores:
+                if not sc.quiescent():
+                    return now + 1
         else:
             for sc in self.subcores:
                 event = sc.next_local_event(now)
@@ -378,7 +379,10 @@ class StreamingMultiprocessor:
         that used to be stepped, so their counters are reproduced in closed
         form via account_skipped_steps.
         """
-        return all(sc.quiescent() for sc in self.subcores)
+        for sc in self.subcores:
+            if not sc.quiescent():
+                return False
+        return True
 
     def account_skipped_steps(self, start: int, cycles: int) -> None:
         """Reproduce the counters of ``cycles`` stepped no-progress cycles.

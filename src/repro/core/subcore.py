@@ -87,29 +87,29 @@ class SubCore:
         #: Cached scheduler-class flag (read once per issue cycle).
         self._steals_banks = self.scheduler.steals_banks
         self.max_registers = config.registers_per_sm // config.subcores_per_sm
-        self.warps: List[Warp] = []
+        self.warps: List[Warp] = []  # simcheck: persistent -- drains via remove_warp at CTA retirement; a run only ends empty
         #: Warps currently in the READY state (maintained by Warp.set_state).
         #: A dict-as-set: iteration order is insertion order, never hash
         #: order, so scheduler tie-breaks are bit-deterministic across
         #: processes (a plain set would order candidates by object hash).
-        self.ready: Dict[Warp, None] = {}
-        self.registers_used = 0
+        self.ready: Dict[Warp, None] = {}  # simcheck: persistent -- mirrors warp residency; drains with self.warps
+        self.registers_used = 0  # simcheck: persistent -- tracks warp residency; returns to 0 as CTAs retire
         self._age_counter = 0
-        self._busy_cus = 0
+        self._busy_cus = 0  # simcheck: persistent -- tracks in-flight CU occupancy; drains before a run ends
 
         # statistics
-        self.instructions_issued = 0
-        self.issue_stall_no_cu = 0
-        self.issue_stall_no_ready = 0
-        self.steals = 0
+        self.instructions_issued = 0  # simcheck: persistent -- cumulative statistic; snapshot/delta reported
+        self.issue_stall_no_cu = 0  # simcheck: persistent -- cumulative statistic; snapshot/delta reported
+        self.issue_stall_no_ready = 0  # simcheck: persistent -- cumulative statistic; snapshot/delta reported
+        self.steals = 0  # simcheck: persistent -- cumulative statistic; snapshot/delta reported
 
         # observability (repro.obs).  Both default to "off": the tracer is
         # attached by the SM when one is passed to the GPU, and the stall
         # buckets only exist under config.stall_attribution — when off,
         # every hook reduces to one None-check and collected stats are
         # byte-identical to pre-observability behaviour.
-        self.tracer: Optional["Tracer"] = None
-        self.stall_cycles: Optional[Dict[str, int]] = (
+        self.tracer: Optional["Tracer"] = None  # simcheck: persistent -- wiring installed once per process, survives runs
+        self.stall_cycles: Optional[Dict[str, int]] = (  # simcheck: persistent -- cumulative stall buckets; snapshot/delta reported
             empty_buckets() if config.stall_attribution else None
         )
 
@@ -265,7 +265,7 @@ class SubCore:
         scheduler = self.scheduler
         for _ in range(self._issue_width):
             if issued_warps:
-                candidates: Collection[Warp] = [
+                candidates: Collection[Warp] = [  # simcheck: hot-ok -- only reached with issue_width > 1 (no partitioned design)
                     w for w in ready if w not in issued_warps
                 ]
                 if not candidates:
@@ -290,7 +290,7 @@ class SubCore:
                     stall_reason = self._structural_stall_reason(now)
                 break
             if issued_warps is None:
-                issued_warps = set()
+                issued_warps = set()  # simcheck: hot-ok -- lazily built once per multi-issue cycle; issue_width == 1 never allocates
             issued_warps.add(warp)
             issued += 1
             slots_issued += 1
@@ -310,7 +310,7 @@ class SubCore:
             free_cu = self._free_cu()
             if free_cu is not None:
                 skip: Collection[Warp] = issued_warps or ()
-                candidates = [
+                candidates = [  # simcheck: hot-ok -- bank-stealing policy only; the pass inherently materializes its candidate pool
                     w
                     for w in self.ready
                     if w not in skip and w.code.reads_rf[w.pc]
@@ -343,15 +343,26 @@ class SubCore:
         hazard is what blocks progress), which outranks in-transit or
         already-issued warps, which outranks the end-of-CTA drain; a
         sub-core with no resident warps at all is idle.
+
+        One flat scan, no set build: this runs on every un-issued slot of
+        every attributed cycle, and the highest-priority state
+        short-circuits the walk.
         """
         if not self.warps:
             return IDLE
-        states = {w.state for w in self.warps}  # membership-only; never iterated
-        if WarpState.BLOCKED in states:
-            return SCOREBOARD
-        if WarpState.AT_BARRIER in states:
+        saw_barrier = False
+        saw_ready = False
+        for w in self.warps:
+            state = w.state
+            if state is WarpState.BLOCKED:
+                return SCOREBOARD
+            if state is WarpState.AT_BARRIER:
+                saw_barrier = True
+            elif state is WarpState.MIGRATING or state is WarpState.READY:
+                saw_ready = True
+        if saw_barrier:
             return BARRIER
-        if WarpState.MIGRATING in states or WarpState.READY in states:
+        if saw_ready:
             return NO_READY_WARP
         return DRAIN
 

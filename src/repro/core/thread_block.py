@@ -84,7 +84,7 @@ class ThreadBlock:
         """A warp exited; this may release a barrier the others wait at."""
         return self._try_release()
 
-    def _try_release(self) -> List[Warp]:
+    def _try_release(self) -> List[Warp]:  # simcheck: hot-ok -- runs per barrier arrival/exit event, not per cycle
         blocked = [w for w in self.warps if w.state is WarpState.AT_BARRIER]
         arrived_or_done = sum(
             1 for w in self.warps if w.warp_id in self._at_barrier or w.done

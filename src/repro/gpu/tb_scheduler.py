@@ -60,8 +60,14 @@ class ThreadBlockScheduler:
             raise RuntimeError("a kernel is already in flight")
         self.launch_many([kernel])
 
-    def launch_many(self, kernels: Sequence[KernelTrace]) -> None:
-        """Launch several kernels for concurrent execution."""
+    def launch_many(self, kernels: Sequence[KernelTrace]) -> None:  # simcheck: reset-hook
+        """Launch several kernels for concurrent execution.
+
+        A launch is the scheduler's reset point: every dispatch cursor —
+        including the CTA id counter — restarts so a relaunch on a reused
+        GPU numbers CTAs exactly as a fresh one would (CTA ids reach
+        traces and per-CTA latency stats).
+        """
         if not kernels:
             raise ValueError("need at least one kernel")
         if self._queues and not self.done:
@@ -75,6 +81,7 @@ class ThreadBlockScheduler:
         self._queues = [_KernelQueue(k) for k in kernels]
         self._rr_cursor = 0
         self._kernel_cursor = 0
+        self._cta_counter = 0
 
     # -- state ----------------------------------------------------------------
 

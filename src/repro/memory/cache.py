@@ -110,7 +110,11 @@ class Cache:
     def install(self, line_address: int) -> None:
         """Install a line (on fill completion)."""
         idx = self.set_index(line_address)
-        s = self._sets.setdefault(idx, OrderedDict())
+        # get-or-create: setdefault() would allocate a fresh OrderedDict on
+        # every install, even when the set already exists (cycle-hot path).
+        s = self._sets.get(idx)
+        if s is None:
+            s = self._sets[idx] = OrderedDict()  # simcheck: hot-ok -- one OrderedDict per cache set, on first touch only
         if line_address in s:
             s.move_to_end(line_address)
             return
@@ -123,7 +127,7 @@ class Cache:
         """Retire completed fills: install their lines and free the MSHRs."""
         if not self._mshr or now < self._mshr_min:
             return
-        done = [addr for addr, t in self._mshr.items() if t <= now]
+        done = [addr for addr, t in self._mshr.items() if t <= now]  # simcheck: hot-ok -- only reached when a fill completed (guarded by _mshr_min); snapshot needed before deletion
         for addr in done:
             del self._mshr[addr]
             self.install(addr)

@@ -24,7 +24,7 @@ class Coalescer:
 
     def expand(self, mem: MemRef) -> List[MemoryRequest]:
         base_line = mem.base_address // self.line_bytes
-        return [
+        return [  # simcheck: hot-ok -- one request list per warp memory instruction, not per cycle
             MemoryRequest(line_address=base_line + i, is_store=mem.is_store)
             for i in range(mem.num_lines)
         ]

@@ -63,14 +63,14 @@ class MemorySubsystem:
             mshrs=mem.l1_mshrs,
             name="L1",
         )
-        self.l2 = l2 if l2 is not None else build_l2(mem)
-        self.dram = dram if dram is not None else build_dram(mem)
+        self.l2 = l2 if l2 is not None else build_l2(mem)  # simcheck: persistent -- chip-level shared instance; GPU._run resets it once per launch
+        self.dram = dram if dram is not None else build_dram(mem)  # simcheck: persistent -- chip-level shared instance; GPU._run resets it once per launch
         self.shared = SharedMemory(mem.shared_mem_banks)
         #: L1←L2 ingest throughput: line transactions accepted per cycle.
         self._l1_port_free = 0
         # event tracing (repro.obs); attached by the owning SM when active
-        self.tracer: Optional["Tracer"] = None
-        self._sm_id = -1
+        self.tracer: Optional["Tracer"] = None  # simcheck: persistent -- wiring installed once per process, survives runs
+        self._sm_id = -1  # simcheck: persistent -- wiring installed once per process, survives runs
 
     def attach_tracer(self, tracer: "Tracer", sm_id: int) -> None:
         """Attach the event tracer; accesses emit ``mem`` span events."""
@@ -116,7 +116,7 @@ class MemorySubsystem:
                     l2_misses += 1
                 self.l1.allocate_miss(req.line_address, t_done)
             completion = max(completion, t_done)
-        return AccessResult(
+        return AccessResult(  # simcheck: hot-ok -- one result record per warp memory instruction, not per cycle
             completion_cycle=completion,
             l1_hits=l1_hits,
             l1_misses=l1_misses,
@@ -125,16 +125,17 @@ class MemorySubsystem:
         )
 
     def _access_l2(self, line_address: int, now: int) -> tuple[int, bool]:
+        l2 = self.l2
         t_at_l2 = now + self.l1.hit_latency  # L1 miss detection + NoC hop
-        hit, inflight = self.l2.probe(line_address, t_at_l2)
+        hit, inflight = l2.probe(line_address, t_at_l2)
         if hit:
-            self.l2.record_hit()
-            return t_at_l2 + self.l2.hit_latency, True
+            l2.record_hit()
+            return t_at_l2 + l2.hit_latency, True
         if inflight is not None:
-            self.l2.record_merge()
-            return max(inflight, t_at_l2 + self.l2.hit_latency), False
-        t_done = self.dram.access(t_at_l2, line_address) + self.l2.hit_latency
-        self.l2.allocate_miss(line_address, t_done)
+            l2.record_merge()
+            return max(inflight, t_at_l2 + l2.hit_latency), False
+        t_done = self.dram.access(t_at_l2, line_address) + l2.hit_latency
+        l2.allocate_miss(line_address, t_done)
         return t_done, False
 
     # -- shared memory -----------------------------------------------------------

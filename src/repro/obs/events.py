@@ -42,6 +42,14 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Mapping, Tuple
 
+#: Version of the trace-event schema (kinds, per-kind required keys, key
+#: semantics).  External tooling that parses exported JSONL keys on it;
+#: bump whenever :data:`EVENT_KINDS` / :data:`EVENT_FIELDS` or the meaning
+#: of a key changes.  simcheck's RPR301 contract check
+#: (``analysis/contracts.json``) fails CI when this module changes
+#: without an acknowledged manifest refresh.
+EVENT_SCHEMA_VERSION = 1
+
 # -- event kinds -------------------------------------------------------------
 
 WARP_ISSUE = "issue"

@@ -102,9 +102,9 @@ class ConflictAwareAllocator:
         seen: set[int] = set()
         for inst in trace.instructions:
             seen.update(inst.registers())
-        # int is totally ordered, so sorted() fully determines the result
-        # regardless of set hash order.
-        return sorted(seen)  # simlint: ignore[RPR002]
+        # int is totally ordered; the explicit key documents that the
+        # result never depends on set hash order.
+        return sorted(seen, key=int)
 
     def _cooccurrence(self, trace: WarpTrace) -> Dict[Tuple[int, int], int]:
         weights: Dict[Tuple[int, int], int] = defaultdict(int)

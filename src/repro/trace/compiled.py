@@ -90,7 +90,7 @@ class _BankTable:
         self._src_regs = src_regs
         self._rows: Dict[int, Tuple[Tuple[int, ...], ...]] = {}
 
-    def row_for(self, warp_id: int) -> Tuple[Tuple[int, ...], ...]:
+    def row_for(self, warp_id: int) -> Tuple[Tuple[int, ...], ...]:  # simcheck: hot-ok -- memoized per warp-id residue; builds only on first miss
         key = warp_id % self.period if self.period else warp_id
         row = self._rows.get(key)
         if row is None:
@@ -165,7 +165,7 @@ class CompiledWarp:
         self.flags = tuple(flags)
         self._bank_tables: Dict[Tuple[BankMapper, int], _BankTable] = {}
 
-    def bank_table(self, mapper: BankMapper, num_banks: int) -> _BankTable:
+    def bank_table(self, mapper: BankMapper, num_banks: int) -> _BankTable:  # simcheck: hot-ok -- memoized per (mapper, banks); builds only on first miss
         key = (mapper, num_banks)
         table = self._bank_tables.get(key)
         if table is None:

@@ -177,12 +177,12 @@ def app_names(suite: str | None = None) -> List[str]:
         return sorted(profiles)
     names = sorted(n for n, p in profiles.items() if p.suite == suite)
     if not names:
-        # str is totally ordered; sorted() fully determines the order.
-        suites = sorted({p.suite for p in profiles.values()})  # simlint: ignore[RPR002]
+        # str is totally ordered; the explicit key documents that.
+        suites = sorted({p.suite for p in profiles.values()}, key=str)
         raise KeyError(f"unknown suite {suite!r}; options: {suites}")
     return names
 
 
 def suites() -> List[str]:
-    # str is totally ordered; sorted() fully determines the order.
-    return sorted({p.suite for p in all_profiles().values()})  # simlint: ignore[RPR002]
+    # str is totally ordered; the explicit key documents that.
+    return sorted({p.suite for p in all_profiles().values()}, key=str)

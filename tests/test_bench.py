@@ -338,3 +338,32 @@ class TestCLI:
     def test_update_baseline_rejects_output_and_baseline_flags(self, tmp_path):
         assert main(["--update-baseline", "--output", "x.json"]) == 2
         assert main(["--update-baseline", "--baseline", "x.json"]) == 2
+
+    def test_regenerated_baseline_gates_cleanly_against_itself(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """The --update-baseline artifact must be directly usable as the
+        --baseline gate: a re-run on the same machine passes it."""
+        import repro.bench.__main__ as bench_main
+
+        monkeypatch.setattr(
+            bench_main, "BASELINE_FILES", {"quick": "BENCH_baseline_quick.json"}
+        )
+        monkeypatch.chdir(tmp_path)
+        assert main(["--update-baseline", "--repeats", "1", "--no-stages"]) == 0
+        assert (
+            main(
+                [
+                    "--quick",
+                    "--repeats",
+                    "1",
+                    "--no-stages",
+                    "--output",
+                    str(tmp_path / "rerun.json"),
+                    "--baseline",
+                    "BENCH_baseline_quick.json",
+                ]
+            )
+            == 0
+        )
+        assert "REGRESSED" not in capsys.readouterr().out

@@ -93,6 +93,22 @@ class TestGPUConfigValidation:
         with pytest.raises(ValueError):
             GPUConfig(rba_score_latency=-1)
 
+    def test_rejects_occupancy_limit_above_scratchpad(self):
+        """The occupancy limit cannot exceed the modelled scratchpad
+        (simcheck RPR302 fix: shared_mem_size_bytes was never read)."""
+        with pytest.raises(ValueError, match="scratchpad"):
+            GPUConfig(
+                shared_mem_per_sm=128 * 1024,
+                memory=MemoryConfig(shared_mem_size_bytes=96 * 1024),
+            )
+
+    def test_occupancy_limit_at_scratchpad_size_is_valid(self):
+        cfg = GPUConfig(
+            shared_mem_per_sm=96 * 1024,
+            memory=MemoryConfig(shared_mem_size_bytes=96 * 1024),
+        )
+        assert cfg.shared_mem_per_sm == cfg.memory.shared_mem_size_bytes
+
 
 class TestPresets:
     def test_kepler_is_monolithic(self):

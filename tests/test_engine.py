@@ -512,3 +512,57 @@ class TestAppAffinityChunks:
         # baseline and rba share the bank layout, so each app's trace is
         # compiled exactly once — by the one worker owning its chunk.
         assert counts == {"trace:rod-nw": 1, "trace:tpcU-q3": 1}
+
+#: Parent pid for the chunk-crash test (same fork-inheritance trick).
+_CHUNK_CRASH_PARENT_PID = -1
+
+
+def _chunk_crashing_simulate_point(point_fields, **kwargs):
+    if (
+        os.getpid() != _CHUNK_CRASH_PARENT_PID
+        and point_fields[0] == "rod-nw"
+        and point_fields[1] == "rba"
+    ):
+        raise RuntimeError("simulated crash mid-chunk")
+    return _real_simulate_point(point_fields, **kwargs)
+
+
+class TestChunkFailureRetry:
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="crash injection relies on fork inheriting the patch",
+    )
+    def test_failed_chunk_is_retried_point_by_point(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash on ONE point of a multi-point app-affinity chunk fails
+        the whole chunk future; every point of that chunk — including the
+        ones simulated before the crash — must be re-run serially in the
+        parent, while other chunks are unaffected."""
+        monkeypatch.setattr(
+            sys.modules[__name__], "_CHUNK_CRASH_PARENT_PID", os.getpid()
+        )
+        monkeypatch.setattr(eng, "_simulate_point", _chunk_crashing_simulate_point)
+        manifest = tmp_path / "manifest.jsonl"
+        e = ExperimentEngine(
+            workers=2, cache_dir=tmp_path / "cache", manifest_path=manifest
+        )
+        # All rod-nw points share one chunk (app affinity); the crash hits
+        # the second of the three, after "baseline" already computed.
+        chunk_points = [
+            SimPoint("rod-nw", "baseline"),
+            SimPoint("rod-nw", "rba"),
+            SimPoint("rod-nw", "shuffle"),
+        ]
+        other = SimPoint("tpcU-q3", "baseline")
+        out = e.run_many(chunk_points + [other])
+
+        assert e.profile.retries == len(chunk_points)
+        sources = {r["point"]: r["source"] for r in read_manifest(manifest)}
+        for p in chunk_points:
+            assert sources[p.label()] == "retry"
+            reference = serial_engine().run_point(p)
+            assert out[p] == reference
+            assert dump_json(out[p]) == dump_json(reference)
+        assert sources[other.label()] == "sim"
+        assert out[other].cycles > 0

@@ -139,3 +139,38 @@ class TestRegisterAccounting:
             sc.add_warp(w, 0)
         with pytest.raises(RuntimeError):
             sc.add_warp(Warp(99, cta, tr, 0, 99), 0)
+
+
+class TestStallReasonEquivalence:
+    """The allocation-free `_stall_reason` rewrite (simcheck RPR101 fix)
+    must match the original set-based priority logic on every warp-state
+    combination."""
+
+    @staticmethod
+    def _reference(states):
+        from repro.obs.stall import BARRIER, DRAIN, IDLE, NO_READY_WARP, SCOREBOARD
+
+        if not states:
+            return IDLE
+        present = set(states)
+        if WarpState.BLOCKED in present:
+            return SCOREBOARD
+        if WarpState.AT_BARRIER in present:
+            return BARRIER
+        if WarpState.MIGRATING in present or WarpState.READY in present:
+            return NO_READY_WARP
+        return DRAIN
+
+    def test_matches_reference_on_all_state_combinations(self):
+        import itertools
+        from types import SimpleNamespace
+
+        _, subcore = make_subcore()
+        states = list(WarpState)
+        combos = [()]
+        for size in (1, 2, 3):
+            combos.extend(itertools.product(states, repeat=size))
+        for combo in combos:
+            subcore.warps = [SimpleNamespace(state=s) for s in combo]
+            assert subcore._stall_reason() == self._reference(combo), combo
+        subcore.warps = []

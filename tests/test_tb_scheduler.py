@@ -97,3 +97,23 @@ class TestCounters:
         sched, _ = scheduler()
         assert sched.done
         assert sched.fill(0) == 0
+
+
+class TestRelaunchCtaIds:
+    def test_relaunch_restarts_cta_numbering(self):
+        """CTA ids restart at 0 on every launch (simcheck RPR202 fix).
+
+        The counter leaking across launches numbered a relaunched kernel's
+        CTAs from where the previous kernel stopped — visible in per-CTA
+        latency stats and traces of back-to-back runs on a reused GPU.
+        """
+        sched, gpu = scheduler()
+        sched.launch(kernel("a", warps=8, num_ctas=2))
+        sched.fill(0)
+        first_ids = [tb.cta_id for sm in gpu.sms for tb in sm.resident_ctas]
+        assert first_ids == [0, 1]
+
+        sched.launch(kernel("b", warps=8, num_ctas=2))
+        sched.fill(1)
+        later_ids = [tb.cta_id for sm in gpu.sms for tb in sm.resident_ctas]
+        assert later_ids[2:] == [0, 1]
