@@ -32,6 +32,15 @@ Observability options (see repro.obs and docs/observability.md)::
                        # simulate one point and print its profiler-style
                        # breakdown; with --trace it includes the stacked
                        # stall-attribution chart
+    --manifest PATH    # append run-manifest records (cache hits, sims,
+                       # retries, structured warnings) to PATH without
+                       # paying for full event tracing
+    --metrics-dir DIR  # enable the run-level metrics registry and write
+                       # metrics.prom (Prometheus text exposition) and
+                       # metrics.json (canonical JSON) there at exit
+    --status-file PATH # write an atomic status.json heartbeat while
+                       # batches run (done/failed/in-flight, per-worker
+                       # last progress, ETA)
 """
 
 from __future__ import annotations
@@ -86,6 +95,9 @@ def _parse_args(args: List[str]) -> Tuple[dict, List[str]]:
         "trace_dir": None,
         "trace_cycles": None,
         "profile_report": None,
+        "manifest": None,
+        "metrics_dir": None,
+        "status_file": None,
     }
     valued = {
         "--workers": "workers",
@@ -93,6 +105,9 @@ def _parse_args(args: List[str]) -> Tuple[dict, List[str]]:
         "--trace-dir": "trace_dir",
         "--trace-cycles": "trace_cycles",
         "--profile-report": "profile_report",
+        "--manifest": "manifest",
+        "--metrics-dir": "metrics_dir",
+        "--status-file": "status_file",
     }
     names: List[str] = []
     i = 0
@@ -182,6 +197,11 @@ def main(argv: list[str] | None = None) -> int:
         workers = int(os.environ.get("REPRO_WORKERS", "0") or 0) or (
             os.cpu_count() or 1
         )
+    metrics = None
+    if opts["metrics_dir"] is not None:
+        from .obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
     configure(
         workers=workers,
         cache_dir=opts["cache_dir"],
@@ -190,6 +210,9 @@ def main(argv: list[str] | None = None) -> int:
         sanitize=opts["sanitize"],
         trace_dir=opts["trace_dir"],
         trace_cycles=opts["trace_cycles"],
+        manifest_path=opts["manifest"],
+        metrics=metrics,
+        status_path=opts["status_file"],
     )
 
     if opts["trace"] and not names and opts["profile_report"] is None:
@@ -215,6 +238,20 @@ def main(argv: list[str] | None = None) -> int:
             f"(manifest.jsonl: {written} records; open *.trace.json in "
             "https://ui.perfetto.dev)"
         )
+    if metrics is not None:
+        import json as _json
+        from pathlib import Path
+
+        out = Path(opts["metrics_dir"])
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "metrics.prom").write_text(
+            metrics.to_prometheus(), encoding="utf-8"
+        )
+        (out / "metrics.json").write_text(
+            _json.dumps(metrics.to_json(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"\nmetrics in {out}/ (metrics.prom, metrics.json)")
     return status
 
 

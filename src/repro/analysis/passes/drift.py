@@ -11,7 +11,13 @@ doesn't crash, it quietly reproduces old behaviour:
 * ``CACHE_SCHEMA`` (``repro/experiments/engine.py``) over the result
   payload (``SimStats.to_payload`` in ``repro/metrics/stats.py``),
 * ``EVENT_SCHEMA_VERSION`` (``repro/obs/events.py``) over the trace-event
-  schema consumed by external tooling.
+  schema consumed by external tooling,
+* ``MANIFEST_SCHEMA_VERSION`` (``repro/obs/manifest.py``) over run-manifest
+  records (``repro.obs --validate`` rejects unknown versions),
+* ``METRICS_SCHEMA_VERSION`` (``repro/obs/metrics.py``) over the canonical
+  metrics JSON export and its validators,
+* ``STATUS_SCHEMA_VERSION`` (``repro/obs/heartbeat.py``) over the live
+  ``status.json`` heartbeat document.
 
 **RPR301** hashes each contract's watched sources (comment-stripped,
 whitespace-normalized — stable across Python versions) into
@@ -84,6 +90,24 @@ CONTRACTS: Tuple[Contract, ...] = (
         "obs/events.py",
         "EVENT_SCHEMA_VERSION",
         ("obs/events.py",),
+    ),
+    Contract(
+        "run-manifest",
+        "obs/manifest.py",
+        "MANIFEST_SCHEMA_VERSION",
+        ("obs/manifest.py",),
+    ),
+    Contract(
+        "obs-metrics",
+        "obs/metrics.py",
+        "METRICS_SCHEMA_VERSION",
+        ("obs/metrics.py",),
+    ),
+    Contract(
+        "run-status",
+        "obs/heartbeat.py",
+        "STATUS_SCHEMA_VERSION",
+        ("obs/heartbeat.py",),
     ),
 )
 

@@ -12,6 +12,10 @@ Usage::
     python -m repro.bench --repeats 3           # timing repeats per point
     python -m repro.bench --no-stages           # skip the stall breakdown
     python -m repro.bench --validate FILE...    # schema-check reports only
+    python -m repro.bench --history [FILE...]   # perf trajectory across
+                                                #   BENCH_*.json (default:
+                                                #   all in the cwd), ratio
+                                                #   vs previous per suite
     python -m repro.bench --update-baseline     # regenerate BENCH_baseline.json
                                                 #   + BENCH_baseline_quick.json
                                                 #   (schema-validated, version-
@@ -27,6 +31,7 @@ from typing import List, Optional
 
 from .compare import compare_reports
 from .harness import run_suite, summary
+from .history import default_history_paths, history_table, load_history
 from .schema import validate_report
 
 
@@ -43,6 +48,7 @@ def _parse(args: List[str]) -> dict:
         "repeats": 2,
         "stages": None,
         "validate": [],
+        "history": None,
         "update_baseline": False,
         "help": False,
     }
@@ -65,6 +71,9 @@ def _parse(args: List[str]) -> dict:
             opts["validate"] = args[i + 1 :]
             if not opts["validate"]:
                 raise _CLIError("--validate requires at least one file")
+            break
+        elif arg == "--history":
+            opts["history"] = args[i + 1 :]
             break
         elif arg in ("--output", "--baseline", "--max-regression", "--repeats"):
             if i + 1 >= len(args):
@@ -158,6 +167,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if opts["validate"]:
         return _validate_files(opts["validate"])
+    if opts["history"] is not None:
+        paths = opts["history"] or [str(p) for p in default_history_paths()]
+        rows, history_problems = load_history(paths)
+        for problem in history_problems:
+            print(problem, file=sys.stderr)
+        print(history_table(rows))
+        return 1 if history_problems else 0
     if opts["update_baseline"]:
         if opts["output"] is not None or opts["baseline"] is not None:
             print(

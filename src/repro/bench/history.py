@@ -1,0 +1,121 @@
+"""Performance trajectory across committed ``BENCH_*.json`` reports.
+
+The repo commits one benchmark report per perf-relevant PR
+(``BENCH_pr6.json``, ``BENCH_pr7.json``, ...) next to the pinned
+baselines.  This module turns that pile of files into a trajectory:
+reports are schema-validated, grouped per suite (quick and full runs are
+never compared to each other), ordered, and each step annotated with its
+throughput ratio against the previous report of the same suite — the
+same ``totals.normalized_cycles_per_sec`` figure the regression gate
+uses, so the table and the gate can never disagree about direction.
+
+``python -m repro.bench --history`` prints the table;
+``python -m repro.obs --dashboard`` embeds the same rows.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from .schema import validate_report
+
+
+def _order_key(name: str) -> tuple:
+    """Sort key putting baselines first, then prN ascending, then names.
+
+    ``BENCH_baseline*.json`` anchors a suite's trajectory;
+    ``BENCH_pr<N>.json`` sorts numerically so pr10 follows pr9.
+    """
+    stem = Path(name).stem
+    tag = stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+    if tag.startswith("baseline"):
+        return (0, 0, tag)
+    if tag.startswith("pr"):
+        digits = "".join(ch for ch in tag[2:] if ch.isdigit())
+        if digits:
+            return (1, int(digits), tag)
+    return (2, 0, tag)
+
+
+def load_history(
+    paths: Sequence[Union[str, Path]],
+) -> tuple:
+    """Validated history rows grouped per suite; returns ``(rows, problems)``.
+
+    Each row: ``{"name", "path", "suite", "sim_version",
+    "normalized_cycles_per_sec", "points", "ratio"}`` where ``ratio`` is
+    throughput vs the previous report of the same suite (>1 = faster) or
+    ``None`` for the first.  Unreadable or schema-invalid files become
+    problems, never silent drops.
+    """
+    rows: List[Dict[str, Any]] = []
+    problems: List[str] = []
+    for raw in sorted(paths, key=lambda p: _order_key(str(p))):
+        path = Path(raw)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            problems.append(f"{path}: unreadable: {exc}")
+            continue
+        report_problems = validate_report(doc)
+        if report_problems:
+            problems.append(f"{path}: invalid report: {report_problems[0]}")
+            continue
+        rows.append(
+            {
+                "name": path.name,
+                "path": str(path),
+                "suite": doc["suite"],
+                "sim_version": doc["sim_version"],
+                "normalized_cycles_per_sec": doc["totals"][
+                    "normalized_cycles_per_sec"
+                ],
+                "points": len(doc["points"]),
+                "ratio": None,
+            }
+        )
+    previous: Dict[str, float] = {}
+    for row in rows:
+        norm = row["normalized_cycles_per_sec"]
+        last = previous.get(row["suite"])
+        if last is not None and last > 0:
+            row["ratio"] = norm / last
+        previous[row["suite"]] = norm
+    return rows, problems
+
+
+def history_table(rows: Sequence[Dict[str, Any]]) -> str:
+    """The trajectory as fixed-width text, one section per suite."""
+    if not rows:
+        return "no benchmark reports found"
+    lines: List[str] = []
+    suites: List[str] = []
+    for row in rows:
+        if row["suite"] not in suites:
+            suites.append(row["suite"])
+    for suite in suites:
+        suite_rows = [row for row in rows if row["suite"] == suite]
+        if lines:
+            lines.append("")
+        lines.append(f"suite: {suite}")
+        lines.append(
+            f"  {'report':<28} {'sim':>7} {'points':>6} "
+            f"{'norm cyc/s':>12} {'vs prev':>8}"
+        )
+        for row in suite_rows:
+            ratio = row["ratio"]
+            vs = f"{ratio:7.2f}x" if ratio is not None else "       -"
+            lines.append(
+                f"  {row['name']:<28} {row['sim_version']:>7} "
+                f"{row['points']:>6} {row['normalized_cycles_per_sec']:>12.5g} "
+                f"{vs}"
+            )
+    return "\n".join(lines)
+
+
+def default_history_paths(root: Optional[Union[str, Path]] = None) -> List[Path]:
+    """Every ``BENCH_*.json`` under ``root`` (default: current directory)."""
+    base = Path(root) if root is not None else Path(".")
+    return sorted(base.glob("BENCH_*.json"))

@@ -53,7 +53,7 @@ from .. import __version__ as _SIM_VERSION
 from ..config import GPUConfig
 from ..gpu import simulate
 from ..metrics import SimStats
-from ..obs import RunManifest, read_manifest, stats_digest
+from ..obs import Heartbeat, MetricsRegistry, RunManifest, read_manifest, stats_digest
 from ..workloads import (
     PROFILE_VERSION,
     compiled_code_key,
@@ -322,6 +322,8 @@ class ExperimentEngine:
         trace_dir: Optional[os.PathLike] = None,
         trace_cycles: Optional[int] = None,
         manifest_path: Optional[os.PathLike] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        status_path: Optional[os.PathLike] = None,
     ):
         self.workers = max(1, int(workers))
         self.cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
@@ -348,6 +350,16 @@ class ExperimentEngine:
         self.manifest: Optional[RunManifest] = (
             RunManifest(manifest_path) if manifest_path is not None else None
         )
+        #: Optional run-level metrics registry (``repro.obs.metrics``).
+        #: ``None`` (the default) is the zero-overhead path: every hook is
+        #: an ``is not None`` test, no instrument exists, results are
+        #: byte-identical to an uninstrumented run.
+        self.metrics = metrics
+        #: Optional live-health heartbeat: a status.json rewritten
+        #: atomically while batches run (``repro.obs.heartbeat``).
+        self.heartbeat: Optional[Heartbeat] = (
+            Heartbeat(str(status_path)) if status_path is not None else None
+        )
         self.profile = EngineProfile()
         self._mem: Dict[str, SimStats] = {}
 
@@ -368,6 +380,7 @@ class ExperimentEngine:
         worker: Optional[int] = None,
         trace: Optional[str] = None,
     ) -> None:
+        self._metric_point(source)
         if self.manifest is None:
             return
         self.manifest.record(
@@ -501,8 +514,14 @@ class ExperimentEngine:
                 seen.add(p)
                 ordered.append(p)
 
+        batch_t0 = time.perf_counter()
+        hb = self.heartbeat
+        if hb is not None:
+            hb.begin(len(ordered), in_flight=len(ordered))
+
         results: Dict[SimPoint, SimStats] = {}
         missing: List[Tuple[SimPoint, str]] = []
+        scan_t0 = time.perf_counter()
         for p in ordered:
             key = self._point_key(p)
             hit = self._mem.get(key)
@@ -510,32 +529,40 @@ class ExperimentEngine:
                 self.profile.mem_hits += 1
                 self._record(p, key, "memory", hit)
                 results[p] = hit
-                continue
-            stats = self._load_disk(key)
-            if stats is not None:
-                self.profile.disk_hits += 1
+            else:
+                stats = self._load_disk(key)
+                if stats is not None:
+                    self.profile.disk_hits += 1
+                    self._mem[key] = stats
+                    self._record(p, key, "disk", stats)
+                    results[p] = stats
+                else:
+                    self.profile.misses += 1
+                    missing.append((p, key))
+                    continue
+            if hb is not None:
+                hb.advance(done=1)
+        self._metric_phase("cache-load", time.perf_counter() - scan_t0)
+
+        if missing:
+            if self.workers > 1 and len(missing) > 1:
+                simulated = self._run_pool(missing)
+            else:
+                simulated = {}
+                for p, _ in missing:
+                    simulated[p] = self._simulate_serial(p)
+                    if hb is not None:
+                        hb.advance(done=1)
+
+            for p, key in missing:
+                stats = simulated[p]
                 self._mem[key] = stats
-                self._record(p, key, "disk", stats)
+                self._store_disk(key, p, stats)
                 results[p] = stats
-                continue
-            self.profile.misses += 1
-            missing.append((p, key))
 
-        if not missing:
-            return results
-
-        if self.workers > 1 and len(missing) > 1:
-            simulated = self._run_pool(missing)
-        else:
-            simulated = {
-                p: self._simulate_serial(p) for p, _ in missing
-            }
-
-        for p, key in missing:
-            stats = simulated[p]
-            self._mem[key] = stats
-            self._store_disk(key, p, stats)
-            results[p] = stats
+        self._metric_batch(len(ordered), time.perf_counter() - batch_t0)
+        if hb is not None:
+            hb.finish()
         return results
 
     # -- execution backends --------------------------------------------------
@@ -563,6 +590,7 @@ class ExperimentEngine:
         """
         if code_source == "memory":
             return
+        self._metric_code(code_source)
         if code_source == "compile":
             self.profile.code_compiles += 1
         elif code_source == "disk":
@@ -583,6 +611,7 @@ class ExperimentEngine:
         )
         self._note_code(point, code_source, worker)
         self.profile.note_sim(point.label(), secs, worker)
+        self._metric_phase("retry" if source == "retry" else "simulate", secs)
         stats = SimStats.from_payload(payload)
         self._record(
             point,
@@ -664,59 +693,143 @@ class ExperimentEngine:
         succeeds or raises the *real* error.
         """
         points = [p for p, _ in missing]
+        plan_t0 = time.perf_counter()
         chunks = self._plan_chunks(missing)
+        self._metric_phase("plan", time.perf_counter() - plan_t0)
         try:
             pool = self._make_pool(len(chunks))
         except (OSError, ValueError):
             return {p: self._simulate_serial(p) for p in points}
 
+        hb = self.heartbeat
         done: Dict[SimPoint, SimStats] = {}
         failed: List[SimPoint] = []
         total = len(points)
         try:
-            futures: Dict[int, concurrent.futures.Future] = {}
+            pending: Dict[concurrent.futures.Future, int] = {}
+            submitted = time.perf_counter()
+            deadlines: Dict[int, Optional[float]] = {}
             try:
                 for i, chunk in enumerate(chunks):
-                    futures[i] = pool.submit(
+                    fut = pool.submit(
                         _simulate_chunk,
                         [dataclasses.astuple(p) for p in chunk],
                         **self._sim_kwargs(),
                     )
-            except concurrent.futures.process.BrokenProcessPool:
-                for i, chunk in enumerate(chunks):
-                    if i not in futures:
-                        failed.extend(chunk)
-            for i, fut in futures.items():
-                chunk = chunks[i]
-                timeout = (
-                    self.timeout * len(chunk) if self.timeout is not None else None
-                )
-                try:
-                    results = fut.result(timeout=timeout)
-                except Exception:
-                    # TimeoutError, BrokenProcessPool, or an error raised
-                    # inside the worker — every point of the chunk is
-                    # retried once in-parent, where a real simulation
-                    # error surfaces undisturbed.
-                    fut.cancel()
-                    failed.extend(chunk)
-                else:
-                    for p, res in zip(chunk, results):
-                        _, payload, secs, worker, trace_path, code_source = res
-                        self._note_code(p, code_source, worker)
-                        self.profile.note_sim(p.label(), secs, worker)
-                        stats = SimStats.from_payload(payload)
-                        self._record(
-                            p,
-                            self._point_key(p),
-                            "sim",
-                            stats,
-                            seconds=secs,
-                            worker=worker,
-                            trace=trace_path,
+                    pending[fut] = i
+                    budget = (
+                        self.timeout * len(chunk)
+                        if self.timeout is not None
+                        else None
+                    )
+                    deadlines[i] = (
+                        submitted + budget if budget is not None else None
+                    )
+                    if hb is not None:
+                        hb.worker_started(
+                            f"chunk-{i}",
+                            hb.clock() + budget if budget is not None else None,
                         )
-                        done[p] = stats
-                self._progress_line(len(done) + len(failed), total)
+            except concurrent.futures.process.BrokenProcessPool:
+                started = set(pending.values())
+                for i, chunk in enumerate(chunks):
+                    if i not in started:
+                        failed.extend(chunk)
+
+            # Poll instead of a blocking per-chunk join: each pass settles
+            # every completed chunk, expires chunks past their deadline
+            # (budget = per-point timeout × chunk size) with a structured
+            # manifest warning, and refreshes the heartbeat — so a wedged
+            # worker is visible the moment it goes stale, not at join.
+            while pending:
+                wait_for: Optional[float] = None
+                now = time.perf_counter()
+                live = [
+                    deadlines[i] for i in pending.values()
+                    if deadlines[i] is not None
+                ]
+                if live:
+                    wait_for = max(0.0, min(live) - now)
+                if hb is not None:
+                    wait_for = (
+                        hb.interval
+                        if wait_for is None
+                        else min(wait_for, hb.interval)
+                    )
+                ready, _ = concurrent.futures.wait(
+                    list(pending),
+                    timeout=wait_for,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                now = time.perf_counter()
+                for fut in sorted(ready, key=lambda f: pending[f]):
+                    i = pending.pop(fut)
+                    chunk = chunks[i]
+                    try:
+                        results = fut.result()
+                    except Exception:
+                        # BrokenProcessPool or an error raised inside the
+                        # worker — every point of the chunk is retried
+                        # once in-parent, where a real simulation error
+                        # surfaces undisturbed.
+                        failed.extend(chunk)
+                        if self.manifest is not None:
+                            self.manifest.warn(
+                                "chunk_crash",
+                                f"chunk {i} ({chunk[0].app}, "
+                                f"{len(chunk)} points) raised in a worker; "
+                                "retrying in parent",
+                                point=f"chunk:{chunk[0].app}",
+                            )
+                    else:
+                        elapsed = now - submitted
+                        self._metric_phase("simulate", elapsed)
+                        for p, res in zip(chunk, results):
+                            _, payload, secs, worker, trace_path, code_source = res
+                            self._note_code(p, code_source, worker)
+                            self.profile.note_sim(p.label(), secs, worker)
+                            stats = SimStats.from_payload(payload)
+                            self._record(
+                                p,
+                                self._point_key(p),
+                                "sim",
+                                stats,
+                                seconds=secs,
+                                worker=worker,
+                                trace=trace_path,
+                            )
+                            done[p] = stats
+                        if hb is not None:
+                            hb.advance(done=len(chunk))
+                    if hb is not None:
+                        hb.worker_finished(f"chunk-{i}")
+                    self._progress_line(len(done) + len(failed), total)
+                for fut in sorted(pending, key=lambda f: pending[f]):
+                    i = pending[fut]
+                    deadline = deadlines[i]
+                    if deadline is None or now <= deadline:
+                        continue
+                    # Past its budget with no result: the worker is
+                    # wedged (or the budget too tight).  Record the
+                    # stall in the manifest while the run is still in
+                    # flight, abandon the chunk and retry in-parent.
+                    pending.pop(fut)
+                    fut.cancel()
+                    chunk = chunks[i]
+                    failed.extend(chunk)
+                    if self.manifest is not None:
+                        self.manifest.warn(
+                            "chunk_timeout",
+                            f"chunk {i} ({chunk[0].app}, {len(chunk)} "
+                            f"points) exceeded its "
+                            f"{self.timeout * len(chunk):.3g}s budget; "
+                            "retrying in parent",
+                            point=f"chunk:{chunk[0].app}",
+                        )
+                    self._progress_line(len(done) + len(failed), total)
+                if hb is not None:
+                    hb.stale_workers()
+                    hb.write()
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
             self._progress_end()
@@ -724,9 +837,66 @@ class ExperimentEngine:
         for p in failed:
             self.profile.retries += 1
             done[p] = self._simulate_serial(p, source="retry")
+            if hb is not None:
+                hb.advance(done=1)
         return done
 
     # -- observability -------------------------------------------------------
+
+    def _metric_point(self, source: str) -> None:
+        """Count one point resolution by source (memory/disk/sim/retry)."""
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "repro_engine_points_total",
+            "Point resolutions by source (cache tier or simulation).",
+            ("source",),
+        ).labels(source=source).inc()
+
+    def _metric_code(self, source: str) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "repro_engine_code_total",
+            "Compiled-trace artifact events by source (compile or disk load).",
+            ("source",),
+        ).labels(source=source).inc()
+
+    def _metric_phase(self, phase: str, secs: float) -> None:
+        """Observe one engine phase span (plan/cache-load/simulate/retry)."""
+        if self.metrics is None:
+            return
+        self.metrics.histogram(
+            "repro_engine_phase_seconds",
+            "Wall time of engine phases, per chunk or batch.",
+            ("phase",),
+        ).labels(phase=phase).observe(secs)
+
+    def _metric_batch(self, points: int, elapsed: float) -> None:
+        """Publish batch-level gauges after :meth:`run_many` settles."""
+        if self.metrics is None:
+            return
+        prof = self.profile
+        self.metrics.gauge(
+            "repro_engine_cache_hit_ratio",
+            "Fraction of point lookups served from a cache (0..1).",
+        ).set(prof.hit_rate())
+        self.metrics.gauge(
+            "repro_engine_worker_skew",
+            "Max/mean ratio of per-worker simulation wall time (1.0 = even).",
+        ).set(prof.worker_skew())
+        if elapsed > 0:
+            self.metrics.gauge(
+                "repro_engine_points_per_sec",
+                "Points resolved per wall-clock second over the last batch.",
+            ).set(points / elapsed)
+        seconds = self.metrics.gauge(
+            "repro_engine_worker_seconds_total",
+            "Simulation wall time accumulated per worker process.",
+            ("worker",),
+        )
+        for worker in sorted(prof.worker_seconds):
+            seconds.labels(worker=str(worker)).set(prof.worker_seconds[worker])
 
     def _progress_line(self, done: int, total: int) -> None:
         if self.progress:
@@ -766,6 +936,8 @@ def configure(
     trace_dir: Optional[os.PathLike] = None,
     trace_cycles: Optional[int] = None,
     manifest_path: Optional[os.PathLike] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    status_path: Optional[os.PathLike] = None,
 ) -> ExperimentEngine:
     """Replace the process-wide engine; unspecified knobs keep their values.
 
@@ -790,6 +962,12 @@ def configure(
             (old.manifest.path if old.manifest is not None else None)
             if manifest_path is None
             else manifest_path
+        ),
+        metrics=old.metrics if metrics is None else metrics,
+        status_path=(
+            (old.heartbeat.path if old.heartbeat is not None else None)
+            if status_path is None
+            else status_path
         ),
     )
     return _engine

@@ -10,7 +10,7 @@ from .analysis import (
     speedup_table,
 )
 from .bounds import IPCBounds, bound_report, ipc_bounds
-from .profile_report import compare_report, profile_report
+from .profile_report import compare_report, profile_report, stall_totals
 from .stats import SimStats, SMStats
 
 __all__ = [
@@ -25,6 +25,7 @@ __all__ = [
     "SMStats",
     "compare_report",
     "profile_report",
+    "stall_totals",
     "IPCBounds",
     "bound_report",
     "ipc_bounds",

@@ -14,16 +14,24 @@ zero-overhead when off):
   is set, conservation-checked by the runtime sanitizer;
 * **run telemetry** — :class:`RunManifest`, the experiment engine's
   per-run JSONL audit log (cache hit/miss, wall time, worker id, stats
-  digest).
+  digest), now schema-versioned and validated;
+* **run metrics** — :class:`MetricsRegistry` (counters, gauges,
+  histograms with label sets) exported as Prometheus text exposition and
+  canonical JSON, plus the :class:`Heartbeat` status.json writer for
+  live run health;
+* **dashboard** — ``python -m repro.obs --dashboard`` renders one
+  static HTML report merging manifests, stall attribution, metrics,
+  status and the committed ``BENCH_*.json`` trajectory.
 
 CLI::
 
     python -m repro <figure> --trace [--trace-dir DIR] [--trace-cycles N]
     python -m repro --trace --profile-report APP[:DESIGN]
-    python -m repro.obs --validate TRACE.json ...   # schema gate (CI)
+    python -m repro.obs --validate TRACE.json MANIFEST.jsonl ...  # CI gate
+    python -m repro.obs --dashboard --out report.html [INPUTS...]
 
 See ``docs/observability.md`` for the event schema, the taxonomy
-definitions, and how to open traces in Perfetto.
+definitions, the exposition grammar, and how to open traces in Perfetto.
 """
 
 from .chrome_trace import (
@@ -34,25 +42,59 @@ from .chrome_trace import (
     write_events_jsonl,
 )
 from .events import EVENT_FIELDS, EVENT_KINDS, validate_chrome_trace, validate_event
-from .manifest import RunManifest, read_manifest, stats_digest
+from .heartbeat import STATUS_SCHEMA_VERSION, Heartbeat, read_status, validate_status
+from .manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    RunManifest,
+    read_manifest,
+    stats_digest,
+    validate_manifest,
+    validate_manifest_record,
+)
+from .metrics import (
+    METRICS_SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+    record_stats_metrics,
+    validate_metrics_json,
+    validate_prometheus_text,
+)
 from .stall import STALL_BUCKETS, empty_buckets, merge_buckets
 from .tracer import Tracer
 
 __all__ = [
+    "Counter",
     "EVENT_FIELDS",
     "EVENT_KINDS",
+    "Gauge",
+    "Heartbeat",
+    "Histogram",
+    "MANIFEST_SCHEMA_VERSION",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsRegistry",
     "RunManifest",
     "STALL_BUCKETS",
+    "STATUS_SCHEMA_VERSION",
     "Tracer",
     "chrome_trace",
     "dumps_chrome_trace",
     "empty_buckets",
     "iter_jsonl",
     "merge_buckets",
+    "parse_prometheus_text",
     "read_manifest",
+    "read_status",
+    "record_stats_metrics",
     "stats_digest",
     "validate_chrome_trace",
     "validate_event",
+    "validate_manifest",
+    "validate_manifest_record",
+    "validate_metrics_json",
+    "validate_prometheus_text",
     "write_chrome_trace",
     "write_events_jsonl",
 ]

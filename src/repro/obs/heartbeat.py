@@ -1,0 +1,208 @@
+"""Atomic run-health heartbeat: a small ``status.json`` for long runs.
+
+The engine owns an optional :class:`Heartbeat`; when enabled it rewrites
+one JSON file at a bounded cadence so a running fleet can be inspected
+from *outside* the process (``watch cat status.json``, a dashboard, a
+babysitter cron).  The write is atomic (temp file + ``os.replace``) so a
+reader never sees a torn document, and throttled (:attr:`interval`
+seconds between writes, forced on terminal transitions) so the file is
+never the bottleneck.
+
+The document answers the three questions a long run raises:
+
+* **how far along?** — ``done`` / ``failed`` / ``in_flight`` / ``total``
+  plus ``points_per_sec`` and an ``eta_seconds`` extrapolation;
+* **is anyone wedged?** — per-worker ``last_progress`` timestamps with a
+  ``stale`` flag once a worker exceeds its chunk deadline;
+* **is it over?** — ``state`` (``running`` / ``done``) and ``updated_at``.
+
+Wall-clock time is injected (``clock=time.time``) rather than called
+directly so the simulator's determinism lint stays silent and tests can
+drive staleness with a fake clock.  Heartbeat output is *health*
+telemetry, not results: nothing in it feeds back into stats, so runs
+with and without a heartbeat remain digest-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+#: Version of the status.json layout; readers reject unknown versions.
+STATUS_SCHEMA_VERSION = 1
+
+#: Seconds between heartbeat writes unless a transition forces one.
+DEFAULT_INTERVAL = 2.0
+
+_STATES = ("running", "done")
+
+
+class Heartbeat:
+    """Periodic atomic writer of a run-status document.
+
+    ``clock`` defaults to :func:`time.time` as an injected callable; the
+    engine never reads it back into results, only into this file.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        interval: float = DEFAULT_INTERVAL,
+        clock: Callable[[], float] = time.time,
+    ):
+        self.path = str(path)
+        self.interval = float(interval)
+        self.clock = clock
+        self.started_at = clock()
+        self.total = 0
+        self.done = 0
+        self.failed = 0
+        self.in_flight = 0
+        self.state = "running"
+        #: worker label -> {"last_progress": ts, "deadline": ts|None, "stale": bool}
+        self.workers: Dict[str, Dict[str, Any]] = {}
+        self._last_write = 0.0
+        self.writes = 0
+
+    # -- updates (engine-facing) ------------------------------------------
+
+    def begin(self, total: int, in_flight: int = 0) -> None:
+        self.total = int(total)
+        self.in_flight = int(in_flight)
+        self.write(force=True)
+
+    def worker_started(self, worker: str, deadline: Optional[float] = None) -> None:
+        """A chunk was handed to ``worker``; ``deadline`` is its timeout."""
+        self.workers[str(worker)] = {
+            "last_progress": self.clock(),
+            "deadline": deadline,
+            "stale": False,
+        }
+
+    def worker_progress(self, worker: str) -> None:
+        entry = self.workers.get(str(worker))
+        if entry is not None:
+            entry["last_progress"] = self.clock()
+            entry["stale"] = False
+
+    def worker_finished(self, worker: str) -> None:
+        self.workers.pop(str(worker), None)
+
+    def stale_workers(self) -> List[str]:
+        """Workers whose last progress predates their deadline (and flag them)."""
+        now = self.clock()
+        stale: List[str] = []
+        for name in sorted(self.workers):
+            entry = self.workers[name]
+            deadline = entry.get("deadline")
+            if deadline is not None and now > deadline:
+                entry["stale"] = True
+                stale.append(name)
+        return stale
+
+    def advance(self, done: int = 0, failed: int = 0) -> None:
+        self.done += done
+        self.failed += failed
+        self.in_flight = max(0, self.in_flight - done - failed)
+        self.write()
+
+    def finish(self) -> None:
+        self.state = "done"
+        self.in_flight = 0
+        self.write(force=True)
+
+    # -- document ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        now = self.clock()
+        elapsed = max(now - self.started_at, 0.0)
+        settled = self.done + self.failed
+        rate = settled / elapsed if elapsed > 0 and settled else 0.0
+        remaining = max(self.total - settled, 0)
+        eta = remaining / rate if rate > 0 else None
+        return {
+            "schema": STATUS_SCHEMA_VERSION,
+            "state": self.state,
+            "started_at": self.started_at,
+            "updated_at": now,
+            "total": self.total,
+            "done": self.done,
+            "failed": self.failed,
+            "in_flight": self.in_flight,
+            "points_per_sec": rate,
+            "eta_seconds": eta,
+            "workers": {
+                name: dict(entry) for name, entry in sorted(self.workers.items())
+            },
+        }
+
+    def write(self, force: bool = False) -> bool:
+        """Atomically rewrite ``status.json`` if the interval elapsed."""
+        now = self.clock()
+        if not force and now - self._last_write < self.interval:
+            return False
+        self._last_write = now
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(self.snapshot(), handle, sort_keys=True, indent=2)
+                handle.write("\n")
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        self.writes += 1
+        return True
+
+
+def validate_status(doc: Any) -> List[str]:
+    """Structural problems of a status document (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["status document must be a JSON object"]
+    if doc.get("schema") != STATUS_SCHEMA_VERSION:
+        problems.append(
+            f"schema {doc.get('schema')!r} != supported {STATUS_SCHEMA_VERSION}"
+        )
+    if doc.get("state") not in _STATES:
+        problems.append(f"unknown state {doc.get('state')!r}")
+    for field in ("started_at", "updated_at", "points_per_sec"):
+        if not isinstance(doc.get(field), (int, float)):
+            problems.append(f"missing numeric {field!r}")
+    for field in ("total", "done", "failed", "in_flight"):
+        value = doc.get(field)
+        if not isinstance(value, int) or value < 0:
+            problems.append(f"{field!r} must be a non-negative integer")
+    eta = doc.get("eta_seconds")
+    if eta is not None and not isinstance(eta, (int, float)):
+        problems.append("eta_seconds must be a number or null")
+    workers = doc.get("workers")
+    if not isinstance(workers, dict):
+        return problems + ["missing workers object"]
+    for name, entry in sorted(workers.items()):
+        if not isinstance(entry, dict):
+            problems.append(f"worker {name!r}: must be an object")
+            continue
+        if not isinstance(entry.get("last_progress"), (int, float)):
+            problems.append(f"worker {name!r}: missing last_progress")
+        if not isinstance(entry.get("stale"), bool):
+            problems.append(f"worker {name!r}: missing stale flag")
+    return problems
+
+
+def read_status(path: str) -> Dict[str, Any]:
+    """Load and validate one status file; raises ``ValueError`` on problems."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    problems = validate_status(doc)
+    if problems:
+        raise ValueError(f"{path}: {problems[0]}")
+    return doc

@@ -566,3 +566,92 @@ class TestChunkFailureRetry:
             assert dump_json(out[p]) == dump_json(reference)
         assert sources[other.label()] == "sim"
         assert out[other].cycles > 0
+
+
+class TestProgressAndProfile:
+    def test_progress_line_shape(self, capsys):
+        e = serial_engine(progress=True)
+        e.profile.mem_hits = 1
+        e.profile.note_sim("p", 0.5, worker=1)
+        e._progress_line(2, 4)
+        e._progress_end()
+        err = capsys.readouterr().err
+        assert err == "\r[engine] 2/4 points (hits 1, sims 1, retries 0)\n"
+
+    def test_progress_off_is_silent(self, capsys):
+        e = serial_engine(progress=False)
+        e._progress_line(1, 2)
+        e._progress_end()
+        assert capsys.readouterr().err == ""
+
+    def test_profile_summary_content(self):
+        prof = eng.EngineProfile(mem_hits=2, disk_hits=1, misses=2)
+        prof.note_sim("slow × point", 4.0, worker=100)
+        prof.note_sim("fast × point", 1.0, worker=200)
+        prof.retries = 1
+        text = prof.summary()
+        assert "cache hit rate 60.0% (3/5 lookups)" in text
+        assert "worker skew   1.60x max/mean over 2 workers" in text
+        assert "sim wall time 5.00s" in text
+        # Slowest-first ranking.
+        assert text.index("slow × point") < text.index("fast × point")
+
+    def test_profile_summary_all_cached(self):
+        prof = eng.EngineProfile(mem_hits=3)
+        assert "every point was served from cache" in prof.summary()
+        assert "slowest points" not in prof.summary()
+
+
+class TestEngineObservability:
+    def test_metrics_off_is_byte_identical(self, tmp_path):
+        from repro.obs import MetricsRegistry, stats_digest
+
+        plain = serial_engine(tmp_path / "plain").run_point(POINT)
+        registry = MetricsRegistry()
+        metered_engine = ExperimentEngine(
+            workers=1,
+            cache_dir=tmp_path / "metered",
+            metrics=registry,
+            status_path=tmp_path / "status.json",
+        )
+        metered = metered_engine.run_many([POINT])[POINT]
+        assert metered == plain
+        assert dump_json(metered) == dump_json(plain)
+        assert stats_digest(metered.to_payload()) == stats_digest(
+            plain.to_payload()
+        )
+        # The instrumented run actually recorded something.
+        assert "repro_engine_points_total" in registry.to_prometheus()
+        assert registry.to_prometheus() == registry.to_prometheus()
+
+    def test_heartbeat_written_during_pooled_run(self, tmp_path):
+        from repro.obs import read_status
+
+        status = tmp_path / "status.json"
+        e = ExperimentEngine(
+            workers=2, cache_dir=tmp_path / "cache", status_path=status
+        )
+        points = [POINT, SimPoint("tpcU-q3", "baseline")]
+        e.run_many(points)
+        doc = read_status(status)
+        assert doc["state"] == "done"
+        assert doc["done"] == len(points)
+        assert doc["failed"] == 0 and doc["in_flight"] == 0
+
+    def test_chunk_timeout_leaves_manifest_warning(self, tmp_path):
+        manifest = tmp_path / "manifest.jsonl"
+        e = ExperimentEngine(
+            workers=2,
+            cache_dir=tmp_path / "cache",
+            timeout=1e-6,
+            manifest_path=manifest,
+        )
+        points = [POINT, SimPoint("rod-nw", "rba")]
+        out = e.run_many(points)
+        warnings = [
+            r for r in read_manifest(manifest) if r["source"] == "warning"
+        ]
+        assert warnings and warnings[0]["kind"] == "chunk_timeout"
+        assert "budget" in warnings[0]["detail"]
+        # Despite the timeout, the retry path still produced real results.
+        assert out[POINT] == serial_engine().run_point(POINT)

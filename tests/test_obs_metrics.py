@@ -1,0 +1,291 @@
+"""Run-level metrics, heartbeat and manifest-schema tests (repro.obs).
+
+Covers the metrics registry's instruments and both export round-trips
+(Prometheus text and canonical JSON), the validators' rejection of
+malformed documents, the heartbeat's throttled atomic writes and
+staleness detection under a fake clock, and the versioned run-manifest
+records (current / legacy / unknown-version classification).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MANIFEST_SCHEMA_VERSION,
+    Heartbeat,
+    MetricsRegistry,
+    RunManifest,
+    parse_prometheus_text,
+    read_status,
+    record_stats_metrics,
+    validate_manifest,
+    validate_manifest_record,
+    validate_metrics_json,
+    validate_prometheus_text,
+    validate_status,
+)
+from repro.obs.heartbeat import STATUS_SCHEMA_VERSION
+
+
+def make_registry() -> MetricsRegistry:
+    r = MetricsRegistry()
+    c = r.counter("repro_points_total", "Points by source.", ("source",))
+    c.labels(source="sim").inc(3)
+    c.labels(source="memory").inc()
+    r.gauge("repro_workers", "Active workers.").set(4)
+    h = r.histogram(
+        "repro_phase_seconds", "Phase wall time.", ("phase",),
+        buckets=(0.1, 1.0, 10.0),
+    )
+    h.labels(phase="simulate").observe(0.5)
+    h.labels(phase="simulate").observe(20.0)
+    h.labels(phase="plan").observe(0.01)
+    return r
+
+
+class TestRegistry:
+    def test_counter_accumulates_per_label_set(self):
+        r = make_registry()
+        c = r.counter("repro_points_total", "Points by source.", ("source",))
+        assert c.labels(source="sim").value == 3
+        assert c.labels(source="memory").value == 1
+
+    def test_counter_rejects_negative(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError):
+            r.counter("c_total", "help").inc(-1)
+
+    def test_reregistration_returns_same_family(self):
+        r = MetricsRegistry()
+        a = r.counter("x_total", "help", ("l",))
+        b = r.counter("x_total", "help", ("l",))
+        assert a is b
+
+    def test_conflicting_reregistration_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x_total", "help", ("l",))
+        with pytest.raises(ValueError):
+            r.gauge("x_total", "help", ("l",))
+        with pytest.raises(ValueError):
+            r.counter("x_total", "help", ("other",))
+
+    def test_invalid_names_rejected(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError):
+            r.counter("0bad", "help")
+        with pytest.raises(ValueError):
+            r.counter("ok_total", "help", ("le",))
+
+    def test_wrong_labels_rejected(self):
+        r = MetricsRegistry()
+        c = r.counter("x_total", "help", ("a", "b"))
+        with pytest.raises(ValueError):
+            c.labels(a="1")
+
+    def test_histogram_buckets_cumulative_in_export(self):
+        r = make_registry()
+        text = r.to_prometheus()
+        # 0.5 and 20.0 observed for phase=simulate: le=1 covers one
+        # observation, +Inf both; sum carries exact totals.
+        assert 'repro_phase_seconds_bucket{phase="simulate",le="1"} 1' in text
+        assert 'repro_phase_seconds_bucket{phase="simulate",le="+Inf"} 2' in text
+        assert 'repro_phase_seconds_sum{phase="simulate"} 20.5' in text
+
+    def test_histogram_requires_increasing_bounds(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError):
+            r.histogram("h_seconds", "help", buckets=(1.0, 1.0))
+
+
+class TestExports:
+    def test_prometheus_round_trip_is_clean(self):
+        text = make_registry().to_prometheus()
+        assert validate_prometheus_text(text) == []
+        families, problems = parse_prometheus_text(text)
+        assert problems == []
+        assert families["repro_workers"]["samples"]["repro_workers"] == 4.0
+
+    def test_prometheus_validator_catches_decreasing_buckets(self):
+        text = (
+            "# HELP h_seconds x\n"
+            "# TYPE h_seconds histogram\n"
+            'h_seconds_bucket{le="1"} 5\n'
+            'h_seconds_bucket{le="2"} 3\n'
+            'h_seconds_bucket{le="+Inf"} 3\n'
+            "h_seconds_sum 1\n"
+            "h_seconds_count 3\n"
+        )
+        problems = validate_prometheus_text(text)
+        assert any("decrease" in p for p in problems)
+
+    def test_prometheus_validator_catches_missing_type(self):
+        problems = validate_prometheus_text("loose_metric 1\n")
+        assert any("TYPE" in p for p in problems)
+
+    def test_json_round_trip_reconstructs_equal_registry(self):
+        r = make_registry()
+        doc = r.to_json()
+        assert validate_metrics_json(doc) == []
+        clone = MetricsRegistry.from_json(doc)
+        assert clone.to_json() == doc
+        assert clone.to_prometheus() == r.to_prometheus()
+
+    def test_json_survives_serialization(self):
+        doc = make_registry().to_json()
+        assert json.loads(json.dumps(doc)) == doc
+
+    def test_json_validator_rejects_unknown_schema(self):
+        doc = make_registry().to_json()
+        doc["schema"] = 99
+        assert any("schema" in p for p in validate_metrics_json(doc))
+
+    def test_json_validator_rejects_label_mismatch(self):
+        doc = make_registry().to_json()
+        for entry in doc["metrics"]:
+            if entry["name"] == "repro_points_total":
+                entry["samples"][0]["labels"] = {"wrong": "x"}
+        assert any("labels" in p for p in validate_metrics_json(doc))
+
+    def test_export_is_deterministic(self):
+        assert make_registry().to_prometheus() == make_registry().to_prometheus()
+        assert make_registry().to_json() == make_registry().to_json()
+
+
+class _FakeSM:
+    def __init__(self, stall_cycles):
+        self.stall_cycles = stall_cycles
+
+
+class _FakeStats:
+    cycles = 100
+    instructions = 250
+    sms = [
+        _FakeSM([{"issued": 30, "idle": 70}, {"issued": 10, "idle": 90}]),
+        _FakeSM(None),
+    ]
+
+
+class TestStatsMetrics:
+    def test_record_stats_metrics_aggregates_buckets(self):
+        r = MetricsRegistry()
+        record_stats_metrics(r, _FakeStats())
+        doc = r.to_json()
+        by_name = {entry["name"]: entry for entry in doc["metrics"]}
+        assert by_name["repro_sim_cycles_total"]["samples"][0]["value"] == 100
+        stalls = {
+            sample["labels"]["bucket"]: sample["value"]
+            for sample in by_name["repro_stall_slots_total"]["samples"]
+        }
+        assert stalls == {"issued": 40, "idle": 160}
+
+
+class _Clock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestHeartbeat:
+    def test_lifecycle_and_eta(self, tmp_path):
+        clock = _Clock()
+        hb = Heartbeat(tmp_path / "status.json", interval=5.0, clock=clock)
+        hb.begin(10, in_flight=10)
+        clock.now += 10.0
+        hb.advance(done=5)
+        doc = read_status(tmp_path / "status.json")
+        assert doc["done"] == 5 and doc["in_flight"] == 5
+        assert doc["points_per_sec"] == pytest.approx(0.5)
+        assert doc["eta_seconds"] == pytest.approx(10.0)
+        hb.finish()
+        doc = read_status(tmp_path / "status.json")
+        assert doc["state"] == "done" and doc["in_flight"] == 0
+
+    def test_writes_are_throttled_but_forced_on_transitions(self, tmp_path):
+        clock = _Clock()
+        hb = Heartbeat(tmp_path / "s.json", interval=100.0, clock=clock)
+        hb.begin(4, in_flight=4)
+        writes = hb.writes
+        hb.advance(done=1)  # within interval: skipped
+        hb.advance(done=1)
+        assert hb.writes == writes
+        clock.now += 101.0
+        hb.advance(done=1)
+        assert hb.writes == writes + 1
+        hb.finish()  # forced
+        assert hb.writes == writes + 2
+
+    def test_stale_worker_detection(self, tmp_path):
+        clock = _Clock()
+        hb = Heartbeat(tmp_path / "s.json", clock=clock)
+        hb.worker_started("chunk-0", deadline=clock.now + 5.0)
+        hb.worker_started("chunk-1", deadline=None)
+        assert hb.stale_workers() == []
+        clock.now += 6.0
+        assert hb.stale_workers() == ["chunk-0"]
+        assert hb.workers["chunk-0"]["stale"] is True
+        hb.worker_progress("chunk-0")
+        assert hb.workers["chunk-0"]["stale"] is False
+
+    def test_validate_status_rejects_bad_documents(self, tmp_path):
+        clock = _Clock()
+        hb = Heartbeat(tmp_path / "s.json", clock=clock)
+        hb.begin(1, in_flight=1)
+        doc = json.loads((tmp_path / "s.json").read_text())
+        assert validate_status(doc) == []
+        assert doc["schema"] == STATUS_SCHEMA_VERSION
+        bad = dict(doc, schema=99)
+        assert validate_status(bad)
+        bad = dict(doc, done=-1)
+        assert validate_status(bad)
+        bad = dict(doc, state="wedged")
+        assert validate_status(bad)
+
+
+class TestManifestSchema:
+    def test_new_records_are_stamped_and_validate_ok(self, tmp_path):
+        m = RunManifest(tmp_path / "m.jsonl")
+        m.record("p", "key", "sim", "digest", seconds=1.5, worker=7)
+        record = json.loads((tmp_path / "m.jsonl").read_text())
+        assert record["v"] == MANIFEST_SCHEMA_VERSION
+        status, problems = validate_manifest_record(record)
+        assert (status, problems) == ("ok", [])
+
+    def test_legacy_records_flagged_not_rejected(self):
+        status, problems = validate_manifest_record(
+            {"point": "p", "key": "k", "source": "sim", "digest": "d"}
+        )
+        assert (status, problems) == ("legacy", [])
+
+    def test_unknown_version_rejected(self):
+        status, problems = validate_manifest_record(
+            {"v": 99, "point": "p", "key": "k", "source": "sim", "digest": "d"}
+        )
+        assert status == "error"
+        assert "unknown manifest schema version" in problems[0]
+
+    def test_warning_records(self, tmp_path):
+        m = RunManifest(tmp_path / "m.jsonl")
+        m.warn("chunk_timeout", "chunk 0 exceeded budget", point="chunk:app")
+        record = json.loads((tmp_path / "m.jsonl").read_text())
+        assert record["source"] == "warning"
+        status, problems = validate_manifest_record(record)
+        assert (status, problems) == ("ok", [])
+        with pytest.raises(ValueError):
+            m.warn("nonsense", "detail")
+
+    def test_validate_manifest_counts_and_problems(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        m = RunManifest(path)
+        m.record("p", "k", "sim", "d")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"point": "q", "key": "k", "source": "sim", "digest": "d"}\n')
+            fh.write('{"v": 99, "source": "sim"}\n')
+            fh.write("not json\n")
+        counts, problems = validate_manifest(path)
+        assert counts == {"ok": 1, "legacy": 1, "error": 2}
+        assert len(problems) == 2

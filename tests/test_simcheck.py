@@ -40,6 +40,9 @@ CONTRACT_STUBS = {
     "experiments/engine.py": "CACHE_SCHEMA = 1\n",
     "metrics/stats.py": "PAYLOAD = 1\n",
     "obs/events.py": "EVENT_SCHEMA_VERSION = 1\n",
+    "obs/manifest.py": "MANIFEST_SCHEMA_VERSION = 1\n",
+    "obs/metrics.py": "METRICS_SCHEMA_VERSION = 1\n",
+    "obs/heartbeat.py": "STATUS_SCHEMA_VERSION = 1\n",
 }
 
 
