@@ -1,0 +1,161 @@
+"""The process-wide injection switchboard: env-keyed, zero-cost when off.
+
+Production code guards its failure seams with one call::
+
+    from ..chaos import trip
+    trip("result_read", key, path=entry_path)
+
+When no plan is active (the default), ``trip`` is a dict lookup and a
+``None`` test — there is nothing to configure, no object to thread
+through constructors, and results are byte-identical to a build without
+the hook.  When a plan *is* active, the first matching armed rule fires
+its effect: raise :class:`ChaosFault` (``crash``), sleep (``hang`` /
+``slow``), garble the file at ``path`` (``corrupt``), raise ``OSError``
+(``io_error``), or ``SIGKILL`` the calling process (``kill``).
+
+Activation is environment-keyed (:data:`PLAN_ENV` holds the plan JSON,
+or ``@/path/to/plan.json``): worker processes spawned by the experiment
+engine inherit the environment and therefore the plan, with no pickling
+or pool plumbing.  :data:`PARENT_ENV` records the installing process id
+so rules can scope themselves to ``worker`` or ``parent`` processes —
+that is how a plan crashes pool workers without also crashing the
+in-parent retry that heals them.
+
+Rule arming (``times`` / ``after`` counters) is per-process.  The
+deterministic part of a decision — the ``p`` draw — hashes the plan
+seed with the site key, so it is identical in every process; see
+:mod:`repro.chaos.plan`.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import signal
+import time
+from typing import Any, Dict, Optional
+
+from .plan import FaultPlan, FaultRule, plan_loads
+
+#: Environment variable carrying the active plan (JSON text, or
+#: ``@path`` pointing at a JSON file).
+PLAN_ENV = "REPRO_CHAOS_PLAN"
+
+#: Environment variable carrying the pid of the installing process.
+PARENT_ENV = "REPRO_CHAOS_PARENT"
+
+
+class ChaosFault(RuntimeError):
+    """An injected failure (the ``crash`` fault)."""
+
+
+#: Per-process hook state: plan memo and per-rule invocation counters.
+_state: Dict[str, Any] = {"loaded": False, "plan": None, "counters": {}}
+
+
+def reset() -> None:
+    """Forget the memoized plan; the next ``trip`` re-reads the env."""
+    _state["loaded"] = False
+    _state["plan"] = None
+    _state["counters"] = {}
+
+
+def install_plan(plan: FaultPlan, env: Optional[Dict[str, str]] = None) -> None:
+    """Activate ``plan`` for this process and all future children."""
+    target = os.environ if env is None else env
+    target[PLAN_ENV] = plan.dumps()
+    target[PARENT_ENV] = str(os.getpid())
+    reset()
+
+
+def clear_plan(env: Optional[Dict[str, str]] = None) -> None:
+    """Deactivate any plan for this process and future children."""
+    target = os.environ if env is None else env
+    target.pop(PLAN_ENV, None)
+    target.pop(PARENT_ENV, None)
+    reset()
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan this process runs under, memoized per process."""
+    if not _state["loaded"]:
+        _state["loaded"] = True
+        _state["counters"] = {}
+        raw = os.environ.get(PLAN_ENV)
+        if raw:
+            if raw.startswith("@"):
+                with open(raw[1:], "r", encoding="utf-8") as fh:
+                    raw = fh.read()
+            _state["plan"] = plan_loads(raw)
+    return _state["plan"]
+
+
+def _in_scope(rule: FaultRule) -> bool:
+    if rule.scope == "any":
+        return True
+    parent = os.environ.get(PARENT_ENV)
+    is_parent = parent is not None and parent == str(os.getpid())
+    return is_parent if rule.scope == "parent" else not is_parent
+
+
+def _select(
+    plan: FaultPlan, site: str, key: str, path: Optional[str]
+) -> Optional[FaultRule]:
+    """First matching armed rule for this invocation (counters advance)."""
+    for index, rule in enumerate(plan.rules):
+        if rule.site != site or not _in_scope(rule):
+            continue
+        if not fnmatch.fnmatch(key, rule.match):
+            continue
+        if rule.fault == "corrupt" and (path is None or not os.path.exists(path)):
+            continue
+        if not plan.decide(rule, key):
+            continue
+        seen = _state["counters"].get(index, 0)
+        _state["counters"][index] = seen + 1
+        if seen < rule.after:
+            continue
+        if rule.times and seen - rule.after >= rule.times:
+            continue
+        return rule
+    return None
+
+
+def _corrupt_file(path: str) -> None:
+    """Garble the entry at ``path``: truncate to half, append junk bytes."""
+    try:
+        keep = os.path.getsize(path) // 2
+        with open(path, "r+b") as fh:
+            fh.truncate(keep)
+            fh.seek(keep)
+            fh.write(b"\x00\xff chaos")
+    except OSError:
+        pass
+
+
+def trip(site: str, key: str, path: Optional[str] = None) -> None:
+    """Fire the active plan's first matching rule at ``site``, if any.
+
+    ``key`` is the site's identity (a point label, a cache key); ``path``
+    is the file a ``corrupt`` fault would damage.  No plan, or no match:
+    returns immediately.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    rule = _select(plan, site, key, path)
+    if rule is None:
+        return
+    if rule.fault == "crash":
+        raise ChaosFault(f"chaos: injected crash at {site} ({key})")
+    if rule.fault == "io_error":
+        raise OSError(f"chaos: injected I/O failure at {site} ({key})")
+    if rule.fault in ("hang", "slow"):
+        time.sleep(rule.seconds)
+        return
+    if rule.fault == "corrupt":
+        assert path is not None  # _select requires an existing path
+        _corrupt_file(path)
+        return
+    if rule.fault == "kill":
+        os.kill(os.getpid(), getattr(signal, "SIGKILL", signal.SIGTERM))

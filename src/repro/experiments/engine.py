@@ -28,6 +28,18 @@ Caching is loss-free because simulation is bit-deterministic (warp
 scheduling never iterates hash-ordered sets — see ``SubCore.ready``) and
 :meth:`SimStats.to_payload` round-trips losslessly.
 
+Robustness is a verified *degradation ladder*, not ad-hoc handling (see
+``docs/robustness.md`` and :mod:`repro.chaos`, which injects every fault
+class and asserts byte-identical digests): results are persisted and
+journaled per point *as they settle* (:class:`~repro.obs.RunJournal`,
+enabling ``python -m repro --resume``); corrupted cache entries are
+quarantined, never served; :data:`STORE_ERROR_THRESHOLD` consecutive
+store errors degrade the disk cache to memory-only with one structured
+warning; :data:`CIRCUIT_THRESHOLD` consecutive pool chunk failures open
+a circuit breaker that falls back to serial in-process execution; and
+Ctrl-C/SIGTERM ends a batch with a flushed journal, a manifest warning
+and a final ``interrupted`` heartbeat instead of a torn run.
+
 Observability: the engine keeps per-point wall times and hit/miss/retry
 counters (:class:`EngineProfile`); ``python -m repro --profile`` prints
 them, and ``--workers/--cache-dir/--no-cache`` configure the process-wide
@@ -42,18 +54,30 @@ import hashlib
 import json
 import multiprocessing
 import os
+import signal
 import sys
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .. import __version__ as _SIM_VERSION
+from ..chaos import trip as chaos_trip
 from ..config import GPUConfig
 from ..gpu import simulate
 from ..metrics import SimStats
-from ..obs import Heartbeat, MetricsRegistry, RunManifest, read_manifest, stats_digest
+from ..obs import (
+    Heartbeat,
+    MetricsRegistry,
+    RunJournal,
+    RunManifest,
+    load_journal,
+    read_manifest,
+    stats_digest,
+)
+from ..trace.code_cache import drain_notes as drain_code_notes
 from ..workloads import (
     PROFILE_VERSION,
     compiled_code_key,
@@ -71,6 +95,15 @@ CACHE_SCHEMA = 2
 DEFAULT_CACHE_DIR = Path(
     os.environ.get("REPRO_CACHE_DIR", "~/.cache/repro-sim")
 ).expanduser()
+
+#: Consecutive result-store ``OSError``s before the disk cache degrades
+#: to memory-only for the rest of the engine's lifetime (one structured
+#: ``cache_degraded`` warning instead of one error per point).
+STORE_ERROR_THRESHOLD = 3
+
+#: Consecutive failed pool chunks (crash or timeout) before the circuit
+#: breaker opens and later batches run serially in-process.
+CIRCUIT_THRESHOLD = 3
 
 
 @dataclass(frozen=True, order=True)
@@ -97,6 +130,13 @@ class EngineProfile:
     sims: int = 0
     retries: int = 0
     disk_errors: int = 0
+    #: Corrupted cache entries moved into the quarantine directory
+    #: instead of being served (result cache; the trace-code cache keeps
+    #: its own per-process tally and reports through worker notes).
+    quarantines: int = 0
+    #: Disk hits whose digest matched a journaled checkpoint on a
+    #: ``--resume`` run — points this run did *not* have to redo.
+    resumed: int = 0
     #: Compiled-trace artifact events observed across workers: ``compile``
     #: (synthesized + lowered + stored) vs ``disk`` (loaded from the
     #: content-addressed trace-code cache).  In-process memo hits are not
@@ -150,12 +190,15 @@ class EngineProfile:
             f"simulations   {self.sims}",
             f"retries       {self.retries}",
             f"disk errors   {self.disk_errors}",
+            f"quarantines   {self.quarantines}",
             f"cache hit rate {self.hit_rate():.1%} "
             f"({self.hits}/{self.lookups} lookups)",
             f"trace code    {self.code_compiles} compiled, "
             f"{self.code_loads} loaded from cache",
             f"sim wall time {self.total_sim_seconds():.2f}s",
         ]
+        if self.resumed:
+            lines.append(f"resumed       {self.resumed} journaled points")
         if len(self.worker_seconds) > 1:
             lines.append(
                 f"worker skew   {self.worker_skew():.2f}x max/mean over "
@@ -239,13 +282,17 @@ def _simulate_point(
     trace_dir: Optional[str] = None,
     trace_cycles: Optional[int] = None,
     code_cache_dir: Optional[str] = None,
-) -> Tuple[tuple, dict, float, int, Optional[str], str]:
+) -> Tuple[tuple, dict, float, int, Optional[str], str, tuple]:
     """Worker entry: simulate one point, return its payload and wall time.
 
     Takes/returns plain tuples and dicts so the function pickles cheaply
     under any multiprocessing start method.  Returns ``(point_fields,
     stats payload, sim seconds, worker pid, chrome-trace path or None,
-    compiled-code source)``.  The kernel arrives pre-compiled through
+    compiled-code source, trace-code cache notes)``.  The notes are
+    ``(kind, detail)`` pairs drained from :mod:`repro.trace.code_cache`
+    — quarantine/degradation events that happened inside this worker
+    process and would otherwise be invisible to the parent's manifest.
+    The kernel arrives pre-compiled through
     :func:`~repro.workloads.get_compiled_kernel` — resolved *before* the
     timed region, so ``secs`` measures simulation alone and the same-app
     points of an affinity chunk pay for trace synthesis exactly once per
@@ -256,6 +303,7 @@ def _simulate_point(
     event streams never travel over the pool's result pipe.
     """
     point = SimPoint(*point_fields)
+    chaos_trip("sim", point.label())
     config = get_design(point.design)
     if sanitize:
         config = config.replace(sanitize=True)
@@ -293,7 +341,15 @@ def _simulate_point(
         write_chrome_trace(tracer, chrome)
         write_events_jsonl(tracer, out / f"{stem}.events.jsonl")
         trace_path = str(chrome)
-    return point_fields, stats.to_payload(), secs, os.getpid(), trace_path, code_source
+    return (
+        point_fields,
+        stats.to_payload(),
+        secs,
+        os.getpid(),
+        trace_path,
+        code_source,
+        tuple(drain_code_notes()),
+    )
 
 
 def _simulate_chunk(fields_list: Sequence[tuple], **kwargs) -> List[tuple]:
@@ -324,6 +380,8 @@ class ExperimentEngine:
         manifest_path: Optional[os.PathLike] = None,
         metrics: Optional[MetricsRegistry] = None,
         status_path: Optional[os.PathLike] = None,
+        journal_path: Optional[os.PathLike] = None,
+        resume: bool = False,
     ):
         self.workers = max(1, int(workers))
         self.cache_dir = Path(cache_dir) if cache_dir is not None else DEFAULT_CACHE_DIR
@@ -360,6 +418,33 @@ class ExperimentEngine:
         self.heartbeat: Optional[Heartbeat] = (
             Heartbeat(str(status_path)) if status_path is not None else None
         )
+        #: Crash-safe run journal (``repro.obs.journal``): one atomically
+        #: appended line per settled point.  Defaults to
+        #: ``<trace_dir>/journal.jsonl`` when tracing, like the manifest.
+        if journal_path is None and self.trace_dir is not None:
+            journal_path = self.trace_dir / "journal.jsonl"
+        self.journal: Optional[RunJournal] = (
+            RunJournal(journal_path) if journal_path is not None else None
+        )
+        #: ``--resume``: journaled ``key -> digest`` checkpoints from the
+        #: interrupted run.  Disk hits matching a checkpoint count as
+        #: resumed; mismatches warn (``journal_mismatch``) and re-simulate.
+        self.resume = resume
+        self._resume_digests: Dict[str, str] = (
+            load_journal(self.journal.path)
+            if resume and self.journal is not None
+            else {}
+        )
+        #: Degradation-ladder state (see ``docs/robustness.md``): store
+        #: failures feed the memory-only degrade, chunk failures feed the
+        #: serial-fallback circuit breaker; both warn exactly once.
+        self.store_error_threshold = STORE_ERROR_THRESHOLD
+        self.circuit_threshold = CIRCUIT_THRESHOLD
+        self._store_failures = 0
+        self._store_degraded = False
+        self._pool_failures = 0
+        self._circuit_open = False
+        self._seen_code_notes: set = set()
         self.profile = EngineProfile()
         self._mem: Dict[str, SimStats] = {}
 
@@ -393,6 +478,35 @@ class ExperimentEngine:
             trace=trace,
         )
 
+    def _warn(self, kind: str, detail: str, point: Optional[str] = None) -> None:
+        """One degradation-ladder step: manifest warning + metrics counter."""
+        self._metric_degradation(kind)
+        if self.manifest is not None:
+            self.manifest.warn(kind, detail, point=point)
+
+    def _settle(self, point: SimPoint, key: str, stats: SimStats) -> None:
+        """Persist one freshly simulated point the moment it arrives.
+
+        Memory cache, disk cache, then the journal checkpoint — in that
+        order, so a key is journaled only after the result it names is
+        durable.  Called per point as pool chunks settle (not after the
+        whole batch), which is what makes a crash at point 900/1000 lose
+        at most the in-flight points.
+        """
+        self._mem[key] = stats
+        self._store_disk(key, point, stats)
+        self._journal_point(point, key, stats)
+
+    def _journal_point(self, point: SimPoint, key: str, stats: SimStats) -> None:
+        if self.journal is None:
+            return
+        try:
+            self.journal.record(key, stats_digest(stats.to_payload()), point.label())
+        except OSError:
+            self.profile.disk_errors += 1
+            return
+        chaos_trip("journal", key, path=str(self.journal.path))
+
     # -- cache plumbing ----------------------------------------------------
 
     def memory_cache_size(self) -> int:
@@ -408,6 +522,7 @@ class ExperimentEngine:
         if not self.use_disk_cache:
             return None
         path = self.cache_path(key)
+        chaos_trip("result_read", key, path=str(path))
         try:
             fh = open(path, "r", encoding="utf-8")
         except FileNotFoundError:
@@ -419,36 +534,58 @@ class ExperimentEngine:
             try:
                 doc = json.load(fh)
                 if doc.get("schema") != CACHE_SCHEMA:
-                    # A different cache generation, not corruption: leave
-                    # it for whichever engine version owns that schema.
-                    return None
+                    # CACHE_SCHEMA is part of the point key, so an entry
+                    # *at this path* stamped with another generation is
+                    # inconsistent, not merely old — quarantine it like
+                    # any other corruption and recompute.
+                    raise ValueError(f"schema {doc.get('schema')!r}")
                 return SimStats.from_payload(doc["stats"])
             except (OSError, ValueError, KeyError, TypeError):
-                # Corrupted or truncated entry: drop it and re-simulate —
-                # but only the exact file we read.  On a shared cache
-                # directory a parallel _store_disk may have os.replace()d
-                # a fresh, valid entry over this path between our read
-                # and the unlink; a blind unlink would silently discard
-                # that result.  Comparing the open handle's identity with
-                # the path's current identity confines the unlink to the
-                # corrupted file.
+                # Corrupted or truncated entry: quarantine it and
+                # re-simulate — but only the exact file we read.  On a
+                # shared cache directory a parallel _store_disk may have
+                # os.replace()d a fresh, valid entry over this path
+                # between our read and the move; a blind unlink/rename
+                # would silently discard that result.  Comparing the open
+                # handle's identity with the path's current identity
+                # confines the quarantine to the corrupted file.
                 self.profile.disk_errors += 1
-                self._unlink_exact(path, fh)
+                if self._quarantine_exact(
+                    path, fh, self.cache_dir / "quarantine"
+                ):
+                    self.profile.quarantines += 1
+                    self._warn(
+                        "cache_quarantine",
+                        f"corrupted result-cache entry {path.name} moved "
+                        "to quarantine/; point will re-simulate",
+                    )
                 return None
 
     @staticmethod
-    def _unlink_exact(path: Path, fh) -> None:
-        """Unlink ``path`` only while it still names the file open as ``fh``."""
+    def _quarantine_exact(path: Path, fh, quarantine_dir: Path) -> bool:
+        """Move ``path`` aside only while it still names the file open as ``fh``.
+
+        The corrupted entry is preserved under ``quarantine_dir`` for
+        post-mortems instead of being destroyed; when even that fails
+        (read-only directory) it falls back to a guarded unlink.  Returns
+        True when the bad file no longer occupies the cache path.
+        """
         try:
             opened = os.fstat(fh.fileno())
             current = os.stat(path)
-            if (opened.st_dev, opened.st_ino) == (current.st_dev, current.st_ino):
+            if (opened.st_dev, opened.st_ino) != (current.st_dev, current.st_ino):
+                return False
+            try:
+                quarantine_dir.mkdir(parents=True, exist_ok=True)
+                os.replace(path, quarantine_dir / path.name)
+            except OSError:
                 os.unlink(path)
+            return True
         except OSError:
-            pass
+            return False
 
     def _store_disk(self, key: str, point: SimPoint, stats: SimStats) -> None:
-        if not self.use_disk_cache:
+        if not self.use_disk_cache or self._store_degraded:
             return
         doc = {
             "schema": CACHE_SCHEMA,
@@ -456,13 +593,14 @@ class ExperimentEngine:
             "stats": stats.to_payload(),
         }
         try:
+            chaos_trip("result_store", key)
             self.cache_dir.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
                 dir=self.cache_dir, prefix=f".{key[:16]}.", suffix=".tmp"
             )
         except OSError:
             # A read-only or full cache directory must never fail a run.
-            self.profile.disk_errors += 1
+            self._store_failed()
             return
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
@@ -474,13 +612,54 @@ class ExperimentEngine:
             # count it and remove the orphaned temp file — mkstemp names
             # are unique per call, so leaked ``.tmp`` files would pile up
             # in a long-lived shared cache directory forever.
-            self.profile.disk_errors += 1
+            self._store_failed()
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
+            return
+        self._store_failures = 0
+        chaos_trip("result_write", key, path=str(self.cache_path(key)))
+
+    def _store_failed(self) -> None:
+        """One store ``OSError``: count it, degrade to memory-only at N."""
+        self.profile.disk_errors += 1
+        self._store_failures += 1
+        if (
+            self._store_failures >= self.store_error_threshold
+            and not self._store_degraded
+        ):
+            self._store_degraded = True
+            self._warn(
+                "cache_degraded",
+                f"{self._store_failures} consecutive result-store errors "
+                f"({self.cache_dir}); disk cache is now memory-only for "
+                "this engine",
+            )
 
     # -- execution ---------------------------------------------------------
+
+    def _resume_ok(self, point: SimPoint, key: str, stats: SimStats) -> bool:
+        """Cross-check a disk hit against its journaled checkpoint.
+
+        Only meaningful on ``--resume`` runs: a hit whose digest matches
+        the journal counts as resumed; a mismatch means the cache changed
+        underneath the journal (corruption, a foreign writer), so the
+        point re-simulates and the discrepancy is warned, not hidden.
+        """
+        expected = self._resume_digests.get(key)
+        if expected is None:
+            return True
+        if expected == stats_digest(stats.to_payload()):
+            self.profile.resumed += 1
+            return True
+        self._warn(
+            "journal_mismatch",
+            f"cached digest for {point.label()} no longer matches its "
+            "journaled checkpoint; re-simulating",
+            point=point.label(),
+        )
+        return False
 
     def run_point(self, point: SimPoint) -> SimStats:
         """Resolve one point (memory cache → disk cache → simulate)."""
@@ -491,15 +670,14 @@ class ExperimentEngine:
             self._record(point, key, "memory", hit)
             return hit
         stats = self._load_disk(key)
-        if stats is not None:
+        if stats is not None and self._resume_ok(point, key, stats):
             self.profile.disk_hits += 1
             self._mem[key] = stats
             self._record(point, key, "disk", stats)
             return stats
         self.profile.misses += 1
         stats = self._simulate_serial(point)
-        self._mem[key] = stats
-        self._store_disk(key, point, stats)
+        self._settle(point, key, stats)
         return stats
 
     def run_many(self, points: Iterable[SimPoint]) -> Dict[SimPoint, SimStats]:
@@ -531,7 +709,7 @@ class ExperimentEngine:
                 results[p] = hit
             else:
                 stats = self._load_disk(key)
-                if stats is not None:
+                if stats is not None and self._resume_ok(p, key, stats):
                     self.profile.disk_hits += 1
                     self._mem[key] = stats
                     self._record(p, key, "disk", stats)
@@ -545,25 +723,83 @@ class ExperimentEngine:
         self._metric_phase("cache-load", time.perf_counter() - scan_t0)
 
         if missing:
-            if self.workers > 1 and len(missing) > 1:
-                simulated = self._run_pool(missing)
-            else:
-                simulated = {}
+            use_pool = (
+                self.workers > 1
+                and len(missing) > 1
+                and not self._circuit_open
+            )
+            restore_term = self._install_sigterm()
+            try:
+                if use_pool:
+                    simulated = self._run_pool(missing)
+                else:
+                    simulated = {}
+                    for p, key in missing:
+                        stats = self._simulate_serial(p)
+                        self._settle(p, key, stats)
+                        simulated[p] = stats
+                        if hb is not None:
+                            hb.advance(done=1)
                 for p, _ in missing:
-                    simulated[p] = self._simulate_serial(p)
-                    if hb is not None:
-                        hb.advance(done=1)
-
-            for p, key in missing:
-                stats = simulated[p]
-                self._mem[key] = stats
-                self._store_disk(key, p, stats)
-                results[p] = stats
+                    results[p] = simulated[p]
+            except KeyboardInterrupt:
+                self._interrupted()
+                raise
+            finally:
+                self._restore_sigterm(restore_term)
 
         self._metric_batch(len(ordered), time.perf_counter() - batch_t0)
         if hb is not None:
             hb.finish()
         return results
+
+    # -- interrupt handling --------------------------------------------------
+
+    @staticmethod
+    def _sigterm_to_interrupt(signum, frame):
+        raise KeyboardInterrupt()
+
+    def _install_sigterm(self):
+        """Route SIGTERM through the KeyboardInterrupt path while a batch runs.
+
+        Only possible from the main thread (a CPython restriction); from
+        anywhere else — or when signals are unavailable — the run keeps
+        default delivery and returns ``None``.  The previous handler is
+        wrapped in a tuple so ``SIG_DFL`` (which is falsy) restores
+        correctly.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        try:
+            previous = signal.signal(signal.SIGTERM, self._sigterm_to_interrupt)
+        except (ValueError, OSError):
+            return None
+        return (previous,)
+
+    def _restore_sigterm(self, token) -> None:
+        if token is None:
+            return
+        try:
+            signal.signal(signal.SIGTERM, token[0])
+        except (ValueError, OSError):
+            pass
+
+    def _interrupted(self) -> None:
+        """Flush telemetry on Ctrl-C/SIGTERM: the run ends loudly, not torn.
+
+        Every settled point is already on disk and in the journal
+        (:meth:`_settle` runs per arrival), so all that remains is to say
+        so: a structured manifest warning, a metrics counter, and a final
+        heartbeat with state ``interrupted``.
+        """
+        self._progress_end()
+        self._warn(
+            "interrupted",
+            "batch interrupted by signal; settled points are journaled "
+            "and a re-run with --resume completes only the rest",
+        )
+        if self.heartbeat is not None:
+            self.heartbeat.interrupt()
 
     # -- execution backends --------------------------------------------------
 
@@ -605,10 +841,25 @@ class ExperimentEngine:
             f"trace:{point.app}", key, code_source, key[:16], worker=worker
         )
 
+    def _code_notes(self, notes: Sequence[Tuple[str, str]]) -> None:
+        """Surface trace-code cache degradation events from workers.
+
+        Each worker process quarantines and degrades independently;
+        identical (kind, detail) pairs from different workers collapse
+        into one structured warning so a 16-worker pool on a read-only
+        cache warns once, not sixteen times.
+        """
+        for kind, detail in notes:
+            if (kind, detail) in self._seen_code_notes:
+                continue
+            self._seen_code_notes.add((kind, detail))
+            self._warn(kind, detail)
+
     def _simulate_serial(self, point: SimPoint, source: str = "sim") -> SimStats:
-        _, payload, secs, worker, trace_path, code_source = _simulate_point(
+        _, payload, secs, worker, trace_path, code_source, notes = _simulate_point(
             dataclasses.astuple(point), **self._sim_kwargs()
         )
+        self._code_notes(notes)
         self._note_code(point, code_source, worker)
         self.profile.note_sim(point.label(), secs, worker)
         self._metric_phase("retry" if source == "retry" else "simulate", secs)
@@ -690,19 +941,31 @@ class ExperimentEngine:
         chunk timeout (the per-point budget times the chunk's size), or a
         pool that cannot even be created never fails the batch — affected
         points are re-simulated once in the parent process, which either
-        succeeds or raises the *real* error.
+        succeeds or raises the *real* error.  Consecutive chunk failures
+        feed the circuit breaker: at :data:`CIRCUIT_THRESHOLD` the engine
+        warns once (``circuit_open``) and later batches run serially.
+        Every settled point is persisted and journaled on arrival.
         """
         points = [p for p, _ in missing]
+        keymap = {p: key for p, key in missing}
         plan_t0 = time.perf_counter()
         chunks = self._plan_chunks(missing)
         self._metric_phase("plan", time.perf_counter() - plan_t0)
+        hb = self.heartbeat
         try:
             pool = self._make_pool(len(chunks))
         except (OSError, ValueError):
-            return {p: self._simulate_serial(p) for p in points}
+            self._pool_failures = self.circuit_threshold
+            self._open_circuit("worker pool could not be created")
+            done: Dict[SimPoint, SimStats] = {}
+            for p in points:
+                done[p] = self._simulate_serial(p)
+                self._settle(p, keymap[p], done[p])
+                if hb is not None:
+                    hb.advance(done=1)
+            return done
 
-        hb = self.heartbeat
-        done: Dict[SimPoint, SimStats] = {}
+        done = {}
         failed: List[SimPoint] = []
         total = len(points)
         try:
@@ -773,6 +1036,7 @@ class ExperimentEngine:
                         # once in-parent, where a real simulation error
                         # surfaces undisturbed.
                         failed.extend(chunk)
+                        self._chunk_failed()
                         if self.manifest is not None:
                             self.manifest.warn(
                                 "chunk_crash",
@@ -784,20 +1048,31 @@ class ExperimentEngine:
                     else:
                         elapsed = now - submitted
                         self._metric_phase("simulate", elapsed)
+                        self._pool_failures = 0
                         for p, res in zip(chunk, results):
-                            _, payload, secs, worker, trace_path, code_source = res
+                            (
+                                _,
+                                payload,
+                                secs,
+                                worker,
+                                trace_path,
+                                code_source,
+                                notes,
+                            ) = res
+                            self._code_notes(notes)
                             self._note_code(p, code_source, worker)
                             self.profile.note_sim(p.label(), secs, worker)
                             stats = SimStats.from_payload(payload)
                             self._record(
                                 p,
-                                self._point_key(p),
+                                keymap[p],
                                 "sim",
                                 stats,
                                 seconds=secs,
                                 worker=worker,
                                 trace=trace_path,
                             )
+                            self._settle(p, keymap[p], stats)
                             done[p] = stats
                         if hb is not None:
                             hb.advance(done=len(chunk))
@@ -817,6 +1092,7 @@ class ExperimentEngine:
                     fut.cancel()
                     chunk = chunks[i]
                     failed.extend(chunk)
+                    self._chunk_failed()
                     if self.manifest is not None:
                         self.manifest.warn(
                             "chunk_timeout",
@@ -836,10 +1112,32 @@ class ExperimentEngine:
 
         for p in failed:
             self.profile.retries += 1
-            done[p] = self._simulate_serial(p, source="retry")
+            stats = self._simulate_serial(p, source="retry")
+            self._settle(p, keymap[p], stats)
+            done[p] = stats
             if hb is not None:
                 hb.advance(done=1)
         return done
+
+    def _chunk_failed(self) -> None:
+        """One failed pool chunk: count it, open the circuit breaker at N."""
+        self._pool_failures += 1
+        if (
+            self._pool_failures >= self.circuit_threshold
+            and not self._circuit_open
+        ):
+            self._open_circuit(
+                f"{self._pool_failures} consecutive pool chunk failures"
+            )
+
+    def _open_circuit(self, why: str) -> None:
+        if self._circuit_open:
+            return
+        self._circuit_open = True
+        self._warn(
+            "circuit_open",
+            f"{why}; falling back to serial in-process execution",
+        )
 
     # -- observability -------------------------------------------------------
 
@@ -861,6 +1159,17 @@ class ExperimentEngine:
             "Compiled-trace artifact events by source (compile or disk load).",
             ("source",),
         ).labels(source=source).inc()
+
+    def _metric_degradation(self, step: str) -> None:
+        """Count one degradation-ladder event by step (quarantine, ...)."""
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "repro_engine_degradations_total",
+            "Degradation-ladder events by step (cache_quarantine, "
+            "cache_degraded, circuit_open, interrupted, journal_mismatch).",
+            ("step",),
+        ).labels(step=step).inc()
 
     def _metric_phase(self, phase: str, secs: float) -> None:
         """Observe one engine phase span (plan/cache-load/simulate/retry)."""
@@ -938,6 +1247,8 @@ def configure(
     manifest_path: Optional[os.PathLike] = None,
     metrics: Optional[MetricsRegistry] = None,
     status_path: Optional[os.PathLike] = None,
+    journal_path: Optional[os.PathLike] = None,
+    resume: Optional[bool] = None,
 ) -> ExperimentEngine:
     """Replace the process-wide engine; unspecified knobs keep their values.
 
@@ -969,5 +1280,11 @@ def configure(
             if status_path is None
             else status_path
         ),
+        journal_path=(
+            (old.journal.path if old.journal is not None else None)
+            if journal_path is None
+            else journal_path
+        ),
+        resume=old.resume if resume is None else resume,
     )
     return _engine

@@ -14,7 +14,8 @@ The document answers the three questions a long run raises:
   plus ``points_per_sec`` and an ``eta_seconds`` extrapolation;
 * **is anyone wedged?** — per-worker ``last_progress`` timestamps with a
   ``stale`` flag once a worker exceeds its chunk deadline;
-* **is it over?** — ``state`` (``running`` / ``done``) and ``updated_at``.
+* **is it over?** — ``state`` (``running`` / ``done`` / ``interrupted``)
+  and ``updated_at``.
 
 Wall-clock time is injected (``clock=time.time``) rather than called
 directly so the simulator's determinism lint stays silent and tests can
@@ -36,7 +37,7 @@ STATUS_SCHEMA_VERSION = 1
 #: Seconds between heartbeat writes unless a transition forces one.
 DEFAULT_INTERVAL = 2.0
 
-_STATES = ("running", "done")
+_STATES = ("running", "done", "interrupted")
 
 
 class Heartbeat:
@@ -111,6 +112,11 @@ class Heartbeat:
     def finish(self) -> None:
         self.state = "done"
         self.in_flight = 0
+        self.write(force=True)
+
+    def interrupt(self) -> None:
+        """Terminal write after Ctrl-C/SIGTERM: the run ended early."""
+        self.state = "interrupted"
         self.write(force=True)
 
     # -- document ---------------------------------------------------------

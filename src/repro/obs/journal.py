@@ -1,0 +1,148 @@
+"""The crash-safe run journal: completed point keys, appended atomically.
+
+The :class:`~repro.experiments.engine.ExperimentEngine` stores results
+to its disk cache *as they arrive*; the journal is the durable index of
+that progress — one line per settled point with its content-address key
+and stats digest.  After a crash, an ``OOM`` kill or a Ctrl-C at point
+900/1000, ``python -m repro --resume`` loads the journal and re-simulates
+only the points it does not cover: journaled points are served from the
+disk cache, and their fresh digests are cross-checked against the
+journaled ones, so silent cache corruption between runs surfaces as a
+structured warning instead of a wrong figure.
+
+Crash safety is by construction:
+
+* every line is written with a **single ``os.write`` to an
+  ``O_APPEND`` descriptor** — POSIX guarantees the append is atomic for
+  writes under ``PIPE_BUF``, and journal lines are far smaller, so
+  concurrent or interrupted appends never interleave or tear;
+* the loader **skips a torn trailing line** (a crash mid-append loses at
+  most the point being written, never the journal);
+* records are schema-versioned (``"v"``); unknown versions are refused
+  by :func:`validate_journal` and skipped by :func:`load_journal`.
+
+A journal is *not* a result store — digests, not payloads.  The results
+themselves live in the engine's content-addressed disk cache; the
+journal says which of them this run already earned.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+#: Version stamped into every journal line.  Bump when the record layout
+#: changes incompatibly; loaders skip (and validators reject) records
+#: stamped with a version they do not understand.
+JOURNAL_SCHEMA_VERSION = 1
+
+
+class RunJournal:
+    """Append-only journal of completed simulation points."""
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self.path = Path(path)
+        self.records_written = 0
+
+    def record(self, key: str, digest: str, point: str) -> None:
+        """Append one completed point: content-address key + stats digest."""
+        entry = {
+            "v": JOURNAL_SCHEMA_VERSION,
+            "key": key,
+            "digest": digest,
+            "point": point,
+        }
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+        self.records_written += 1
+
+
+def validate_journal_record(record: Any) -> List[str]:
+    """Structural problems of one journal record (empty = valid)."""
+    if not isinstance(record, dict):
+        return ["record must be a JSON object"]
+    problems: List[str] = []
+    version = record.get("v")
+    if version != JOURNAL_SCHEMA_VERSION:
+        problems.append(
+            f"unknown journal schema version {version!r} "
+            f"(supported: {JOURNAL_SCHEMA_VERSION})"
+        )
+    for field in ("key", "digest", "point"):
+        if not isinstance(record.get(field), str) or not record[field]:
+            problems.append(f"missing or empty {field!r}")
+    return problems
+
+
+def load_journal(path: Union[str, os.PathLike]) -> Dict[str, str]:
+    """The journaled ``key -> digest`` map; tolerant of a torn tail.
+
+    Unparseable lines and unknown-version records are skipped — a crash
+    mid-append must never make the journal unreadable.  The last record
+    for a key wins (a point re-simulated after a digest mismatch
+    overwrites its earlier entry).
+    """
+    seen: Dict[str, str] = {}
+    try:
+        fh = open(path, "r", encoding="utf-8")
+    except OSError:
+        return seen
+    with fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if validate_journal_record(record):
+                continue
+            seen[record["key"]] = record["digest"]
+    return seen
+
+
+def validate_journal(
+    path: Union[str, os.PathLike]
+) -> Tuple[Dict[str, int], List[str]]:
+    """Validate a whole journal file; returns ``(counts, problems)``.
+
+    Unlike :func:`load_journal` this is strict: every malformed line is
+    reported.  A single torn *trailing* line is tolerated (counted under
+    ``torn_tail``) because a crash mid-append legitimately leaves one.
+    """
+    counts = {"ok": 0, "error": 0, "torn_tail": 0}
+    problems: List[str] = []
+    lines: List[Tuple[int, str]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if line:
+                lines.append((lineno, line))
+    for i, (lineno, line) in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            if i == len(lines) - 1:
+                counts["torn_tail"] += 1
+            else:
+                counts["error"] += 1
+                problems.append(f"line {lineno}: unparseable JSON ({exc})")
+            continue
+        record_problems = validate_journal_record(record)
+        if record_problems:
+            counts["error"] += 1
+            for problem in record_problems:
+                problems.append(f"line {lineno}: {problem}")
+        else:
+            counts["ok"] += 1
+    return counts, problems

@@ -56,8 +56,23 @@ class RunManifest:
     #: simulation-point resolutions.
     SOURCES = ("memory", "disk", "sim", "retry", "compile")
 
-    #: Warning kinds a ``warning`` record may carry.
-    WARNINGS = ("stale_worker", "chunk_timeout", "chunk_crash")
+    #: Warning kinds a ``warning`` record may carry.  The first three are
+    #: in-flight pool health; the rest are steps of the engine's
+    #: degradation ladder (see ``docs/robustness.md``): a corrupted cache
+    #: entry quarantined, a cache dir degraded to memory-only, the pool
+    #: circuit breaker opening to serial execution, a run interrupted by
+    #: signal, and a journaled point whose cached digest no longer
+    #: matches on resume.
+    WARNINGS = (
+        "stale_worker",
+        "chunk_timeout",
+        "chunk_crash",
+        "cache_quarantine",
+        "cache_degraded",
+        "circuit_open",
+        "interrupted",
+        "journal_mismatch",
+    )
 
     def __init__(self, path: Union[str, os.PathLike]):
         self.path = Path(path)

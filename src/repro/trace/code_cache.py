@@ -20,9 +20,17 @@ experiment engine's result cache.
 
 Location: ``$REPRO_TRACE_CACHE_DIR`` when set, else
 ``~/.cache/repro-sim/trace-code``.  Writers stage through a temp file and
-``os.replace`` so concurrent engine workers never observe torn entries;
-unreadable or version-skewed entries are treated as misses and removed
-best-effort.
+``os.replace`` so concurrent engine workers never observe torn entries.
+
+Failure handling follows the engine's degradation ladder
+(``docs/robustness.md``): unreadable or version-skewed entries are
+treated as misses and *quarantined* (moved into a ``quarantine/``
+subdirectory under an inode guard, so a concurrent valid rewrite is
+never discarded), and :data:`STORE_ERROR_THRESHOLD` consecutive store
+``OSError``s degrade this process to memory-only compilation.  Both
+events append ``(kind, detail)`` pairs to a per-process notes queue;
+engine workers drain it (:func:`drain_notes`) and ship the notes to the
+parent, which deduplicates them into structured manifest warnings.
 
 This module deliberately knows nothing about :mod:`repro.workloads` (which
 imports :mod:`repro.trace`); callers pass the key material and a builder.
@@ -36,7 +44,9 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Callable, Mapping, Optional, Tuple
+from typing import Any, Callable, List, Mapping, Optional, Tuple
+
+from ..chaos import trip as chaos_trip
 
 #: Schema version of the compiled-trace artifact.  Bump whenever
 #: :class:`~repro.trace.compiled.CompiledWarp`'s layout or the pickled
@@ -46,7 +56,33 @@ CODE_VERSION = 1
 #: Environment variable overriding the cache directory.
 CACHE_DIR_ENV = "REPRO_TRACE_CACHE_DIR"
 
+#: Consecutive store ``OSError``s before this process stops writing the
+#: trace-code cache (memory-only compilation; one note, not one per app).
+STORE_ERROR_THRESHOLD = 3
+
 _MAGIC = "repro-code"
+
+#: Per-process degradation state for the store path.
+_STORE_STATE = {"failures": 0, "disabled": False}
+
+#: Per-process queue of ``(kind, detail)`` degradation events.  Kinds
+#: reuse the manifest warning vocabulary (``cache_quarantine``,
+#: ``cache_degraded``) so the engine can forward them verbatim.
+_NOTES: List[Tuple[str, str]] = []
+
+
+def drain_notes() -> List[Tuple[str, str]]:
+    """Take (and clear) this process's pending degradation notes."""
+    notes = list(_NOTES)
+    _NOTES.clear()
+    return notes
+
+
+def reset_degradation() -> None:
+    """Re-arm the store path and drop pending notes (tests, new runs)."""
+    _STORE_STATE["failures"] = 0
+    _STORE_STATE["disabled"] = False
+    _NOTES.clear()
 
 
 def default_cache_dir() -> Path:
@@ -82,31 +118,47 @@ def _entry_path(cache_dir: Path, key: str) -> Path:
 
 
 def load_compiled(cache_dir: Path, key: str) -> Optional[Any]:
-    """The cached artifact for ``key``, or None on miss/corruption."""
+    """The cached artifact for ``key``, or None on miss/corruption.
+
+    Corrupted pickles and wrong-generation envelopes (stale magic or
+    :data:`CODE_VERSION`) are quarantined — moved aside, never served,
+    never silently deleted — and the artifact recompiles.
+    """
     path = _entry_path(cache_dir, key)
+    chaos_trip("code_read", key, path=str(path))
     try:
-        with open(path, "rb") as fh:
+        fh = open(path, "rb")
+    except OSError:
+        return None
+    with fh:
+        try:
             envelope = pickle.load(fh)
-    except FileNotFoundError:
-        return None
-    except Exception:
-        _discard(path)
-        return None
-    if (
-        not isinstance(envelope, tuple)
-        or len(envelope) != 3
-        or envelope[0] != _MAGIC
-        or envelope[1] != CODE_VERSION
-    ):
-        _discard(path)
-        return None
+        except Exception:
+            _quarantine(path, fh, "unreadable pickle")
+            return None
+        if (
+            not isinstance(envelope, tuple)
+            or len(envelope) != 3
+            or envelope[0] != _MAGIC
+            or envelope[1] != CODE_VERSION
+        ):
+            _quarantine(path, fh, "wrong cache generation")
+            return None
     return envelope[2]
 
 
 def store_compiled(cache_dir: Path, key: str, artifact: Any) -> None:
-    """Atomically persist ``artifact`` under ``key`` (best-effort)."""
+    """Atomically persist ``artifact`` under ``key`` (best-effort).
+
+    After :data:`STORE_ERROR_THRESHOLD` consecutive ``OSError``s the
+    store path disables itself for this process (memory-only) and queues
+    a single ``cache_degraded`` note instead of erroring per artifact.
+    """
+    if _STORE_STATE["disabled"]:
+        return
     path = _entry_path(cache_dir, key)
     try:
+        chaos_trip("code_store", key)
         cache_dir.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=str(cache_dir), suffix=".tmp")
         try:
@@ -122,7 +174,20 @@ def store_compiled(cache_dir: Path, key: str, artifact: Any) -> None:
     except OSError:
         # A read-only or full cache dir degrades to recompilation, never
         # to failure.
-        pass
+        _STORE_STATE["failures"] += 1
+        if _STORE_STATE["failures"] >= STORE_ERROR_THRESHOLD:
+            _STORE_STATE["disabled"] = True
+            _NOTES.append(
+                (
+                    "cache_degraded",
+                    f"{_STORE_STATE['failures']} consecutive trace-code "
+                    f"store errors ({cache_dir}); compiled traces are now "
+                    "memory-only in this process",
+                )
+            )
+        return
+    _STORE_STATE["failures"] = 0
+    chaos_trip("code_write", key, path=str(path))
 
 
 def get_or_build(
@@ -146,8 +211,32 @@ def get_or_build(
     return artifact, "compile"
 
 
-def _discard(path: Path) -> None:
+def _quarantine(path: Path, fh, why: str) -> None:
+    """Move the corrupted entry aside, guarded by file identity.
+
+    The unlink/rename happens only while ``path`` still names the file
+    open as ``fh`` — a concurrent ``store_compiled`` may have already
+    replaced the corrupted entry with a fresh one, which must survive.
+    The bad file is preserved under ``quarantine/`` for post-mortems;
+    a read-only directory falls back to a guarded unlink attempt.
+    """
     try:
-        os.unlink(path)
+        opened = os.fstat(fh.fileno())
+        current = os.stat(path)
+        if (opened.st_dev, opened.st_ino) != (current.st_dev, current.st_ino):
+            return
+        quarantine_dir = path.parent / "quarantine"
+        try:
+            quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, quarantine_dir / path.name)
+        except OSError:
+            os.unlink(path)
     except OSError:
-        pass
+        return
+    _NOTES.append(
+        (
+            "cache_quarantine",
+            f"corrupted trace-code entry {path.name} quarantined ({why}); "
+            "artifact will recompile",
+        )
+    )

@@ -105,3 +105,98 @@ class TestDiskLoadedEquivalence:
         assert stats_digest(simulate(loaded, config).to_payload()) == stats_digest(
             fresh
         )
+
+
+class TestCorruptionQuarantine:
+    """Corrupted entries are quarantined — moved aside, never served —
+    and degraded stores go memory-only with a single note."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_state(self):
+        from repro.chaos import clear_plan
+        from repro.trace import code_cache
+
+        clear_plan()
+        code_cache.reset_degradation()
+        yield
+        clear_plan()
+        code_cache.reset_degradation()
+
+    def _entry(self, tmp_path):
+        get_compiled_kernel(APP, *LAYOUT, cache_dir=tmp_path)
+        entries = list(tmp_path.glob("*.code.pkl"))
+        assert len(entries) == 1
+        return entries[0]
+
+    def test_truncated_pickle_is_quarantined_and_recompiled(self, tmp_path):
+        from repro.trace import code_cache
+
+        entry = self._entry(tmp_path)
+        data = entry.read_bytes()
+        entry.write_bytes(data[: len(data) // 2])
+        registry._COMPILED_MEMO.clear()
+        _, src = get_compiled_kernel(APP, *LAYOUT, cache_dir=tmp_path)
+        assert src == "compile"
+        quarantined = tmp_path / "quarantine" / entry.name
+        assert quarantined.read_bytes() == data[: len(data) // 2]
+        notes = code_cache.drain_notes()
+        assert [kind for kind, _ in notes] == ["cache_quarantine"]
+        assert "unreadable pickle" in notes[0][1]
+        # The recompile re-stored a valid entry: next fresh process hits disk.
+        registry._COMPILED_MEMO.clear()
+        _, src2 = get_compiled_kernel(APP, *LAYOUT, cache_dir=tmp_path)
+        assert src2 == "disk"
+
+    def test_wrong_generation_envelope_is_quarantined(self, tmp_path):
+        import pickle
+
+        from repro.trace import code_cache
+
+        entry = self._entry(tmp_path)
+        entry.write_bytes(
+            pickle.dumps(("repro-code", code_cache.CODE_VERSION + 1, None))
+        )
+        registry._COMPILED_MEMO.clear()
+        _, src = get_compiled_kernel(APP, *LAYOUT, cache_dir=tmp_path)
+        assert src == "compile"
+        assert (tmp_path / "quarantine" / entry.name).exists()
+        notes = code_cache.drain_notes()
+        assert notes and "wrong cache generation" in notes[0][1]
+
+    def test_quarantine_spares_a_concurrent_replacement(self, tmp_path):
+        import os
+
+        from repro.trace import code_cache
+
+        entry = tmp_path / "x.code.pkl"
+        entry.write_bytes(b"corrupt")
+        fh = open(entry, "rb")
+        try:
+            replacement = tmp_path / "fresh.tmp"
+            replacement.write_bytes(b"valid replacement")
+            os.replace(replacement, entry)
+            code_cache._quarantine(entry, fh, "test")
+        finally:
+            fh.close()
+        # The replacement written while the corrupt file was open survives.
+        assert entry.read_bytes() == b"valid replacement"
+        assert not (tmp_path / "quarantine").exists()
+        assert code_cache.drain_notes() == []
+
+    def test_store_io_errors_degrade_to_memory_once(self, tmp_path, monkeypatch):
+        from repro.chaos import clear_plan, install_plan, single_fault_plan
+        from repro.trace import code_cache
+
+        monkeypatch.setattr(code_cache, "STORE_ERROR_THRESHOLD", 1)
+        install_plan(single_fault_plan("io_error", "code_store", times=0))
+        code_cache.store_compiled(tmp_path, "k1", {"a": 1})
+        code_cache.store_compiled(tmp_path, "k2", {"a": 2})
+        notes = code_cache.drain_notes()
+        assert [kind for kind, _ in notes] == ["cache_degraded"]
+        assert code_cache._STORE_STATE["disabled"]
+        assert list(tmp_path.iterdir()) == []
+        # reset_degradation re-arms the store path.
+        clear_plan()
+        code_cache.reset_degradation()
+        code_cache.store_compiled(tmp_path, "k1", {"a": 1})
+        assert code_cache.load_compiled(tmp_path, "k1") == {"a": 1}

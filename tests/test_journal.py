@@ -1,0 +1,186 @@
+"""Tests for the crash-safe run journal (``repro.obs.journal``).
+
+The journal is the durable index of a batch's progress: one
+atomically-appended line per settled point.  These tests pin the append
+format (single write, under ``PIPE_BUF``), the tolerant loader
+(torn tails, unknown versions, last-wins), the strict validator, and the
+dashboard's shape-based classification of journal files.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    JOURNAL_SCHEMA_VERSION,
+    RunJournal,
+    load_journal,
+    validate_journal,
+    validate_journal_record,
+)
+from repro.obs.dashboard import classify_input, collect_inputs, render_dashboard
+
+
+def write_lines(path, lines):
+    path.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+
+
+class TestAppend:
+    def test_record_and_load_round_trip(self, tmp_path):
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        journal.record("k1", "d1", "rod-nw x baseline")
+        journal.record("k2", "d2", "rod-nw x rba")
+        assert journal.records_written == 2
+        assert load_journal(journal.path) == {"k1": "d1", "k2": "d2"}
+
+    def test_append_only_across_instances(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        RunJournal(path).record("k1", "d1", "p1")
+        RunJournal(path).record("k2", "d2", "p2")  # a resumed run appends
+        assert load_journal(path) == {"k1": "d1", "k2": "d2"}
+
+    def test_creates_parent_directories(self, tmp_path):
+        journal = RunJournal(tmp_path / "deep" / "nested" / "journal.jsonl")
+        journal.record("k", "d", "p")
+        assert load_journal(journal.path) == {"k": "d"}
+
+    def test_lines_stay_under_the_atomic_append_bound(self, tmp_path):
+        # POSIX guarantees O_APPEND writes under PIPE_BUF (>= 512) never
+        # interleave; journal lines must stay comfortably below that even
+        # with realistic sha256 keys/digests and long point labels.
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        journal.record("a" * 64, "b" * 64, "some-app x some-design (num_sms=80)")
+        line = journal.path.read_bytes()
+        assert line.endswith(b"\n")
+        assert len(line) < 512
+
+    def test_last_record_for_a_key_wins(self, tmp_path):
+        journal = RunJournal(tmp_path / "journal.jsonl")
+        journal.record("k", "stale", "p")
+        journal.record("k", "fresh", "p")
+        assert load_journal(journal.path) == {"k": "fresh"}
+
+
+class TestLoadTolerance:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_journal(tmp_path / "nope.jsonl") == {}
+
+    def test_torn_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        RunJournal(path).record("k1", "d1", "p1")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"v": 1, "key": "k2", "dig')  # crash mid-append
+        assert load_journal(path) == {"k1": "d1"}
+
+    def test_unknown_version_is_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_lines(
+            path,
+            [
+                json.dumps({"v": 99, "key": "k1", "digest": "d", "point": "p"}),
+                json.dumps(
+                    {
+                        "v": JOURNAL_SCHEMA_VERSION,
+                        "key": "k2",
+                        "digest": "d2",
+                        "point": "p",
+                    }
+                ),
+            ],
+        )
+        assert load_journal(path) == {"k2": "d2"}
+
+    def test_blank_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        RunJournal(path).record("k", "d", "p")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("\n\n")
+        assert load_journal(path) == {"k": "d"}
+
+
+class TestValidate:
+    def test_clean_journal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(path)
+        journal.record("k1", "d1", "p1")
+        journal.record("k2", "d2", "p2")
+        counts, problems = validate_journal(path)
+        assert counts == {"ok": 2, "error": 0, "torn_tail": 0}
+        assert problems == []
+
+    def test_single_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        RunJournal(path).record("k1", "d1", "p1")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"v": 1, "key"')
+        counts, problems = validate_journal(path)
+        assert counts == {"ok": 1, "error": 0, "torn_tail": 1}
+        assert problems == []
+
+    def test_torn_middle_line_is_an_error(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        write_lines(
+            path,
+            [
+                '{"v": 1, "key"',
+                json.dumps(
+                    {"v": 1, "key": "k", "digest": "d", "point": "p"}
+                ),
+            ],
+        )
+        counts, problems = validate_journal(path)
+        assert counts["error"] == 1 and counts["ok"] == 1
+        assert problems and "unparseable" in problems[0]
+
+    @pytest.mark.parametrize(
+        "record, needle",
+        [
+            ("not a dict", "object"),
+            ({"v": 99, "key": "k", "digest": "d", "point": "p"}, "version"),
+            ({"v": 1, "digest": "d", "point": "p"}, "key"),
+            ({"v": 1, "key": "k", "digest": "", "point": "p"}, "digest"),
+            ({"v": 1, "key": "k", "digest": "d"}, "point"),
+        ],
+    )
+    def test_record_validation(self, record, needle):
+        problems = validate_journal_record(record)
+        assert problems and any(needle in p for p in problems)
+
+    def test_valid_record_passes(self):
+        assert (
+            validate_journal_record(
+                {
+                    "v": JOURNAL_SCHEMA_VERSION,
+                    "key": "k",
+                    "digest": "d",
+                    "point": "p",
+                }
+            )
+            == []
+        )
+
+
+class TestDashboardIntegration:
+    def test_journal_files_classify_by_shape(self, tmp_path):
+        # Journals and manifests are both JSONL; journals are the ones
+        # with key+digest checkpoints and no record "source".
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(path)
+        journal.record("k1", "d1", "p1")
+        kind, records = classify_input(path)
+        assert kind == "journal"
+        assert records[0]["key"] == "k1"
+
+    def test_collect_and_render(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = RunJournal(path)
+        journal.record("k1", "d1", "rod-nw x baseline")
+        journal.record("k2", "d2", "rod-nw x rba")
+        model = collect_inputs([path])
+        assert len(model["journals"]) == 1
+        assert model["problems"] == []
+        html = render_dashboard(model)
+        assert "journal" in html.lower()
+        assert "resume" in html.lower()
